@@ -1,0 +1,128 @@
+// Command craftybench regenerates the Crafty paper's evaluation: the
+// throughput figures (6–8 and the 100 ns sensitivity repeats 22–24), Table 1
+// (persistent writes per transaction), and the appendix's transaction
+// breakdown figures, all over the emulated NVM/HTM substrates.
+//
+// Usage:
+//
+//	craftybench -experiment fig6                # one figure
+//	craftybench -experiment all -ops 3000       # everything, shorter runs
+//	craftybench -experiment table1
+//	craftybench -experiment breakdowns          # appendix figures 9–21 data
+//	craftybench -experiment fig8 -threads 1,2,4 # override the thread axis
+//
+// Absolute throughput is not comparable to the paper's Skylake testbed; the
+// relevant output is the relative shape across engines and thread counts,
+// which EXPERIMENTS.md discusses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crafty/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig6", "fig6|fig7|fig8|fig22|fig23|fig24|table1|breakdowns|all")
+		ops        = flag.Int("ops", 5000, "operations per thread per measurement")
+		threads    = flag.String("threads", "", "comma-separated thread counts overriding the paper's 1,2,4,8,12,15,16")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", true, "print per-cell progress")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *ops, *threads, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "craftybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, ops int, threadsFlag string, seed int64, verbose bool) error {
+	threadAxis, err := parseThreads(threadsFlag)
+	if err != nil {
+		return err
+	}
+	progress := os.Stderr
+	if !verbose {
+		progress = nil
+	}
+
+	figures := harness.Figures()
+	runFigure := func(id string, breakdowns bool) error {
+		fig, ok := figures[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", id)
+		}
+		if threadAxis != nil {
+			fig.Threads = threadAxis
+		}
+		result, err := harness.RunFigure(fig, ops, seed, progress)
+		if err != nil {
+			return err
+		}
+		result.WriteTable(os.Stdout)
+		if breakdowns {
+			result.WriteBreakdowns(os.Stdout)
+		}
+		return nil
+	}
+
+	switch experiment {
+	case "table1":
+		rows, err := harness.RunTable1(ops, seed)
+		if err != nil {
+			return err
+		}
+		harness.WriteTable1(os.Stdout, rows)
+		return nil
+	case "breakdowns":
+		// The appendix's Figures 9–21 are the per-configuration breakdowns of
+		// the Figure 6–8 runs.
+		for _, id := range []string{"fig6", "fig7", "fig8"} {
+			if err := runFigure(id, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "all":
+		var ids []string
+		for id := range figures {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if err := runFigure(id, true); err != nil {
+				return err
+			}
+		}
+		rows, err := harness.RunTable1(ops, seed)
+		if err != nil {
+			return err
+		}
+		harness.WriteTable1(os.Stdout, rows)
+		return nil
+	default:
+		return runFigure(experiment, false)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+// Command craftyrecover demonstrates Crafty's crash recovery end to end on
+// the emulated persistent heap: it runs a multi-threaded bank workload,
+// injects a crash with a configurable persistence policy, runs the recovery
+// observer, and verifies that the recovered state is consistent (the total
+// balance is conserved).
+//
+// Usage:
+//
+//	craftyrecover -threads 4 -ops 2000 -persist-prob 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"crafty"
+)
+
+func main() {
+	var (
+		threads     = flag.Int("threads", 4, "worker threads")
+		ops         = flag.Int("ops", 2000, "transfers per thread before the crash")
+		persistProb = flag.Float64("persist-prob", 0.5, "probability that an unflushed write survives the crash")
+		seed        = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*threads, *ops, *persistProb, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "craftyrecover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(threads, ops int, persistProb float64, seed int64) error {
+	const accounts = 64
+	const initial = 1000
+
+	heap := crafty.NewHeap(crafty.HeapConfig{
+		Words:            1 << 22,
+		PersistLatency:   crafty.NoLatency,
+		TrackPersistence: true,
+	})
+	eng, err := crafty.New(heap, crafty.Config{})
+	if err != nil {
+		return err
+	}
+	layout := eng.Layout()
+
+	base := heap.MustCarve(accounts * crafty.WordsPerLine)
+	addrOf := func(i int) crafty.Addr { return base + crafty.Addr(i*crafty.WordsPerLine) }
+	// The setup thread doubles as worker 0, so no worker handle goes idle
+	// with an old last-logged sequence (which would force recovery to rewind
+	// further than necessary).
+	workers := make([]crafty.Thread, threads)
+	for g := range workers {
+		workers[g] = eng.Register()
+	}
+	if err := workers[0].Atomic(func(tx crafty.Tx) error {
+		for i := 0; i < accounts; i++ {
+			tx.Store(addrOf(i), initial)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("running %d threads x %d transfers over %d accounts...\n", threads, ops, accounts)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := workers[g]
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for i := 0; i < ops; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				amount := uint64(1 + rng.Intn(9))
+				_ = th.Atomic(func(tx crafty.Tx) error {
+					tx.Store(addrOf(from), tx.Load(addrOf(from))-amount)
+					tx.Store(addrOf(to), tx.Load(addrOf(to))+amount)
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	fmt.Printf("injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
+	heap.Crash(crafty.NewRandomCrashPolicy(seed, persistProb))
+
+	report, err := crafty.Recover(heap, layout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words)\n",
+		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored)
+
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += heap.Load(addrOf(i))
+	}
+	fmt.Printf("total balance after recovery: %d (expected %d)\n", total, accounts*initial)
+	if total != accounts*initial {
+		return fmt.Errorf("recovered state is inconsistent")
+	}
+
+	// The heap can be reopened and used again.
+	eng2, err := crafty.Reopen(heap, layout, crafty.Config{})
+	if err != nil {
+		return err
+	}
+	eng2.AdvanceClock(report.MaxTimestamp)
+	th := eng2.Register()
+	if err := th.Atomic(func(tx crafty.Tx) error {
+		tx.Store(addrOf(0), tx.Load(addrOf(0))+1)
+		tx.Store(addrOf(1), tx.Load(addrOf(1))-1)
+		return nil
+	}); err != nil {
+		return err
+	}
+	fmt.Println("post-recovery transaction committed; the heap is usable again")
+	return nil
+}

@@ -1,0 +1,96 @@
+package crafty_test
+
+import (
+	"sync"
+	"testing"
+
+	"crafty"
+)
+
+// TestPublicAPIEndToEnd exercises the documented public flow: create, run
+// concurrent transactions, crash, recover, reopen, continue.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	heap := crafty.NewHeap(crafty.HeapConfig{
+		Words:            1 << 20,
+		PersistLatency:   crafty.NoLatency,
+		TrackPersistence: true,
+	})
+	eng, err := crafty.New(heap, crafty.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := eng.Layout()
+	counter := heap.MustCarve(8)
+
+	const goroutines = 4
+	const perThread = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := eng.Register()
+			for i := 0; i < perThread; i++ {
+				if err := th.Atomic(func(tx crafty.Tx) error {
+					tx.Store(counter, tx.Load(counter)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := heap.Load(counter); got != goroutines*perThread {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perThread)
+	}
+
+	heap.Crash(crafty.NewRandomCrashPolicy(3, 0.5))
+	report, err := crafty.Recover(heap, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := heap.Load(counter)
+	if recovered > goroutines*perThread {
+		t.Fatalf("recovered counter %d exceeds committed count", recovered)
+	}
+
+	eng2, err := crafty.Reopen(heap, layout, crafty.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.AdvanceClock(report.MaxTimestamp)
+	th := eng2.Register()
+	if err := th.Atomic(func(tx crafty.Tx) error {
+		tx.Store(counter, tx.Load(counter)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := heap.Load(counter); got != recovered+1 {
+		t.Fatalf("post-recovery counter = %d, want %d", got, recovered+1)
+	}
+}
+
+// TestPublicAPIThreadUnsafeMode covers the failure-atomicity-only mode.
+func TestPublicAPIThreadUnsafeMode(t *testing.T) {
+	heap := crafty.NewHeap(crafty.HeapConfig{Words: 1 << 18, PersistLatency: crafty.NoLatency, TrackPersistence: true})
+	eng, err := crafty.New(heap, crafty.Config{Mode: crafty.ThreadUnsafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	for i := 0; i < 50; i++ {
+		if err := th.Atomic(func(tx crafty.Tx) error {
+			tx.Store(data, tx.Load(data)+2)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := heap.Load(data); got != 100 {
+		t.Fatalf("value = %d, want 100", got)
+	}
+}

@@ -1,0 +1,48 @@
+// Bankcompare: runs the paper's bank microbenchmark on Crafty and on the
+// NV-HTM and Non-durable baselines at a few thread counts, printing
+// normalized throughput — a miniature, single-command version of Figure 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crafty/internal/harness"
+	"crafty/internal/workloads/bank"
+)
+
+func main() {
+	engines := []harness.EngineKind{harness.NonDurable, harness.NVHTM, harness.Crafty}
+	threads := []int{1, 2, 4}
+	const ops = 4000
+
+	// Baseline: single-thread Non-durable, as in the paper's normalization.
+	base, err := harness.Run(harness.NonDurable,
+		bank.New(bank.Config{Contention: bank.HighContention, Threads: 1}),
+		harness.Options{Threads: 1, OpsPerThread: ops, PersistLatency: 300 * time.Nanosecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("bank (high contention), throughput normalized to 1-thread Non-durable")
+	fmt.Printf("%-10s", "threads")
+	for _, e := range engines {
+		fmt.Printf("%-14s", e)
+	}
+	fmt.Println()
+	for _, t := range threads {
+		fmt.Printf("%-10d", t)
+		for _, e := range engines {
+			res, err := harness.Run(e,
+				bank.New(bank.Config{Contention: bank.HighContention, Threads: t}),
+				harness.Options{Threads: t, OpsPerThread: ops, PersistLatency: 300 * time.Nanosecond})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14.2f", res.Throughput/base.Throughput)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(Expected shape: Crafty above NV-HTM at low thread counts; both below Non-durable.)")
+}

@@ -1,0 +1,122 @@
+// Kvstore: a small crash-consistent key-value store built on the Crafty
+// public API. Keys and values are uint64; the store is an open-addressing
+// hash table kept entirely in persistent memory, so every Put is a persistent
+// transaction and the table survives crashes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crafty"
+)
+
+// kvStore is a fixed-capacity open-addressing hash table in persistent
+// memory. Slot layout: two words per slot — key (0 = empty) and value.
+type kvStore struct {
+	heap  *crafty.Heap
+	base  crafty.Addr
+	slots uint64
+}
+
+func newKVStore(heap *crafty.Heap, slots uint64) *kvStore {
+	return &kvStore{heap: heap, base: heap.MustCarve(int(slots) * 2), slots: slots}
+}
+
+func (s *kvStore) slotAddr(i uint64) crafty.Addr { return s.base + crafty.Addr(i*2) }
+
+// put inserts or updates key within the given transaction.
+func (s *kvStore) put(tx crafty.Tx, key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("kvstore: key 0 is reserved")
+	}
+	h := key * 0x9e3779b97f4a7c15 % s.slots
+	for probe := uint64(0); probe < s.slots; probe++ {
+		addr := s.slotAddr((h + probe) % s.slots)
+		switch tx.Load(addr) {
+		case 0, key:
+			tx.Store(addr, key)
+			tx.Store(addr+1, value)
+			return nil
+		}
+	}
+	return fmt.Errorf("kvstore: table full")
+}
+
+// get looks key up within the given transaction (0 if absent).
+func (s *kvStore) get(tx crafty.Tx, key uint64) uint64 {
+	h := key * 0x9e3779b97f4a7c15 % s.slots
+	for probe := uint64(0); probe < s.slots; probe++ {
+		addr := s.slotAddr((h + probe) % s.slots)
+		switch tx.Load(addr) {
+		case key:
+			return tx.Load(addr + 1)
+		case 0:
+			return 0
+		}
+	}
+	return 0
+}
+
+func main() {
+	heap := crafty.NewHeap(crafty.HeapConfig{Words: 1 << 20, TrackPersistence: true})
+	eng, err := crafty.New(heap, crafty.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout := eng.Layout()
+	store := newKVStore(heap, 1<<12)
+	th := eng.Register()
+
+	// Each Put is one failure-atomic persistent transaction.
+	for key := uint64(1); key <= 100; key++ {
+		key := key
+		if err := th.Atomic(func(tx crafty.Tx) error {
+			return store.put(tx, key, key*key)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var v uint64
+	if err := th.Atomic(func(tx crafty.Tx) error {
+		v = store.get(tx, 12)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("value for key 12 before crash:", v)
+
+	// Crash and recover: every committed Put survives or is rolled back as a
+	// whole, so the table never contains a key without its value.
+	heap.Crash(crafty.NewRandomCrashPolicy(7, 0.5))
+	report, err := crafty.Recover(heap, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2, err := crafty.Reopen(heap, layout, crafty.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2.AdvanceClock(report.MaxTimestamp)
+	th2 := eng2.Register()
+
+	intact, missing := 0, 0
+	if err := th2.Atomic(func(tx crafty.Tx) error {
+		intact, missing = 0, 0
+		for key := uint64(1); key <= 100; key++ {
+			switch store.get(tx, key) {
+			case key * key:
+				intact++
+			case 0:
+				missing++ // rolled back with its transaction: consistent
+			default:
+				return fmt.Errorf("kvstore: key %d has a torn value", key)
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash + recovery: %d keys intact, %d rolled back, 0 torn\n", intact, missing)
+}

@@ -1,0 +1,171 @@
+// Package alloc provides a word-granularity allocator over a carved region of
+// an emulated NVM heap, together with the per-transaction allocation log that
+// the engines use to keep transactional allocation safe.
+//
+// The Crafty paper (Section 6, "Memory management") requires that allocations
+// performed while executing a transaction body be replayable: the Log and
+// Validate phases execute the same code, so a malloc in the Log phase must
+// return the same address when the Validate phase re-executes it, and frees
+// must be deferred until the transaction has committed. The TxLog type
+// implements exactly that protocol; the non-Crafty engines use the same log
+// simply to release allocations made by aborted attempts and to defer frees
+// to commit time.
+//
+// Allocator metadata (free lists, block sizes) is volatile. Rebuilding
+// allocator state after a crash is an orthogonal problem the paper does not
+// address; DESIGN.md records this limitation, and the crash-consistency tests
+// use workloads whose persistent footprint is pre-allocated.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"crafty/internal/nvm"
+)
+
+// Block identifies an allocated block: its base address and size in words.
+type Block struct {
+	Addr  nvm.Addr
+	Words int
+}
+
+// Arena is a thread-safe allocator over a contiguous region of a heap.
+// Blocks are cache-line aligned so that independently allocated objects never
+// generate false transactional conflicts with each other.
+type Arena struct {
+	heap  *nvm.Heap
+	base  nvm.Addr
+	words int
+
+	mu    sync.Mutex
+	next  nvm.Addr
+	free  map[int][]nvm.Addr // size class (in words, line-rounded) -> free blocks
+	sizes map[nvm.Addr]int   // outstanding block sizes, for Free without a size
+}
+
+// NewArena creates an allocator over the region [base, base+words) of heap,
+// which the caller must have carved beforehand.
+func NewArena(heap *nvm.Heap, base nvm.Addr, words int) *Arena {
+	return &Arena{
+		heap:  heap,
+		base:  base,
+		words: words,
+		next:  base,
+		free:  make(map[int][]nvm.Addr),
+		sizes: make(map[nvm.Addr]int),
+	}
+}
+
+// NewArenaCarved carves words from the heap and returns an allocator over the
+// new region.
+func NewArenaCarved(heap *nvm.Heap, words int) (*Arena, error) {
+	base, err := heap.Carve(words)
+	if err != nil {
+		return nil, err
+	}
+	return NewArena(heap, base, words), nil
+}
+
+// sizeClass rounds a request up to whole cache lines.
+func sizeClass(words int) int {
+	lines := (words + nvm.WordsPerLine - 1) / nvm.WordsPerLine
+	if lines == 0 {
+		lines = 1
+	}
+	return lines * nvm.WordsPerLine
+}
+
+// Alloc returns a zeroed, cache-line-aligned block of at least words words.
+func (a *Arena) Alloc(words int) (nvm.Addr, error) {
+	if words <= 0 {
+		return nvm.NilAddr, fmt.Errorf("alloc: invalid size %d", words)
+	}
+	class := sizeClass(words)
+
+	a.mu.Lock()
+	if blocks := a.free[class]; len(blocks) > 0 {
+		addr := blocks[len(blocks)-1]
+		a.free[class] = blocks[:len(blocks)-1]
+		a.sizes[addr] = class
+		a.mu.Unlock()
+		a.zero(addr, class)
+		return addr, nil
+	}
+	if int(a.next-a.base)+class > a.words {
+		a.mu.Unlock()
+		return nvm.NilAddr, fmt.Errorf("alloc: arena exhausted (%d of %d words used, need %d)", a.next-a.base, a.words, class)
+	}
+	addr := a.next
+	a.next += nvm.Addr(class)
+	a.sizes[addr] = class
+	a.mu.Unlock()
+	a.zero(addr, class)
+	return addr, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion; transaction bodies use it via
+// ptm.Tx.Alloc, where exhaustion indicates a mis-sized experiment.
+func (a *Arena) MustAlloc(words int) nvm.Addr {
+	addr, err := a.Alloc(words)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// zero clears a block's visible contents. Zeroing happens outside any
+// transaction: freshly allocated memory is private to the allocating
+// transaction until it publishes an address reaching it.
+func (a *Arena) zero(addr nvm.Addr, words int) {
+	for w := addr; w < addr+nvm.Addr(words); w++ {
+		a.heap.Store(w, 0)
+	}
+}
+
+// Free returns a block to the arena. Freeing an address that is not currently
+// allocated panics: it indicates a double free in an engine or workload.
+func (a *Arena) Free(addr nvm.Addr) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	class, ok := a.sizes[addr]
+	if !ok {
+		panic(fmt.Sprintf("alloc: free of unallocated address %d", addr))
+	}
+	delete(a.sizes, addr)
+	a.free[class] = append(a.free[class], addr)
+}
+
+// Live reports how many blocks are currently allocated.
+func (a *Arena) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sizes)
+}
+
+// Used reports how many words of the arena have ever been handed out
+// (high-water mark, not reduced by Free).
+func (a *Arena) Used() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.next - a.base)
+}
+
+// Contains reports whether addr lies inside the arena's region.
+func (a *Arena) Contains(addr nvm.Addr) bool {
+	return addr >= a.base && addr < a.base+nvm.Addr(a.words)
+}
+
+// OutstandingBlocks returns the currently allocated blocks in address order;
+// used by leak-detection tests.
+func (a *Arena) OutstandingBlocks() []Block {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Block, 0, len(a.sizes))
+	for addr, size := range a.sizes {
+		out = append(out, Block{Addr: addr, Words: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

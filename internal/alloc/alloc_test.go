@@ -1,0 +1,239 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crafty/internal/nvm"
+)
+
+func newArena(t *testing.T, words int) *Arena {
+	t.Helper()
+	h := nvm.NewHeap(nvm.Config{Words: words + 64, PersistLatency: nvm.NoLatency})
+	a, err := NewArenaCarved(h, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAllocReturnsDistinctAlignedBlocks(t *testing.T) {
+	a := newArena(t, 4096)
+	seen := make(map[nvm.Addr]bool)
+	for i := 0; i < 100; i++ {
+		addr, err := a.Alloc(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr%nvm.WordsPerLine != 0 {
+			t.Fatalf("block %d at %d not line aligned", i, addr)
+		}
+		if seen[addr] {
+			t.Fatalf("address %d handed out twice", addr)
+		}
+		seen[addr] = true
+	}
+	if a.Live() != 100 {
+		t.Fatalf("Live() = %d, want 100", a.Live())
+	}
+}
+
+func TestAllocZeroesRecycledBlocks(t *testing.T) {
+	a := newArena(t, 1024)
+	addr, _ := a.Alloc(4)
+	heapOf(a).Store(addr, 999)
+	a.Free(addr)
+	again, _ := a.Alloc(4)
+	if again != addr {
+		t.Fatalf("free list did not recycle block: got %d, want %d", again, addr)
+	}
+	if got := heapOf(a).Load(again); got != 0 {
+		t.Fatalf("recycled block not zeroed: %d", got)
+	}
+}
+
+func heapOf(a *Arena) *nvm.Heap { return a.heap }
+
+func TestAllocInvalidAndExhausted(t *testing.T) {
+	a := newArena(t, 2 * nvm.WordsPerLine)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("expected error for zero-size allocation")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("expected error for negative allocation")
+	}
+	if _, err := a.Alloc(nvm.WordsPerLine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(nvm.WordsPerLine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := newArena(t, 1024)
+	addr, _ := a.Alloc(1)
+	a.Free(addr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	a.Free(addr)
+}
+
+func TestContains(t *testing.T) {
+	a := newArena(t, 1024)
+	addr, _ := a.Alloc(1)
+	if !a.Contains(addr) {
+		t.Fatal("allocated address not inside arena")
+	}
+	if a.Contains(nvm.NilAddr) {
+		t.Fatal("nil address reported inside arena")
+	}
+}
+
+func TestAllocNeverOverlapsProperty(t *testing.T) {
+	// Property: for any interleaving of allocations of varying sizes and
+	// frees of previously allocated blocks, live blocks never overlap.
+	prop := func(ops []uint8) bool {
+		a := newArenaQuick(1 << 16)
+		type block struct {
+			addr  nvm.Addr
+			words int
+		}
+		var live []block
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				a.Free(live[i].addr)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := 1 + int(op)%40
+			addr, err := a.Alloc(size)
+			if err != nil {
+				continue
+			}
+			live = append(live, block{addr, size})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				aStart, aEnd := live[i].addr, live[i].addr+nvm.Addr(live[i].words)
+				bStart, bEnd := live[j].addr, live[j].addr+nvm.Addr(live[j].words)
+				if aStart < bEnd && bStart < aEnd {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newArenaQuick(words int) *Arena {
+	h := nvm.NewHeap(nvm.Config{Words: words + 64, PersistLatency: nvm.NoLatency})
+	a, err := NewArenaCarved(h, words)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func TestTxLogAbortReleasesAllocations(t *testing.T) {
+	a := newArena(t, 4096)
+	l := NewTxLog(a)
+	l.Begin()
+	l.Alloc(4)
+	l.Alloc(4)
+	if a.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", a.Live())
+	}
+	l.Abort()
+	if a.Live() != 0 {
+		t.Fatalf("aborted transaction leaked %d blocks", a.Live())
+	}
+}
+
+func TestTxLogCommitAppliesDeferredFrees(t *testing.T) {
+	a := newArena(t, 4096)
+	l := NewTxLog(a)
+
+	l.Begin()
+	persistent := l.Alloc(4)
+	l.Commit()
+	if a.Live() != 1 {
+		t.Fatalf("Live() = %d, want 1", a.Live())
+	}
+
+	l.Begin()
+	l.Free(persistent)
+	// Not yet freed: the free is deferred until commit.
+	if a.Live() != 1 {
+		t.Fatalf("free applied before commit")
+	}
+	l.Commit()
+	if a.Live() != 0 {
+		t.Fatalf("deferred free not applied at commit; %d live", a.Live())
+	}
+}
+
+func TestTxLogAbortDiscardsDeferredFrees(t *testing.T) {
+	a := newArena(t, 4096)
+	l := NewTxLog(a)
+	l.Begin()
+	persistent := l.Alloc(4)
+	l.Commit()
+
+	l.Begin()
+	l.Free(persistent)
+	l.Abort()
+	if a.Live() != 1 {
+		t.Fatalf("aborted transaction's free was applied; %d live", a.Live())
+	}
+}
+
+func TestTxLogReplayReturnsSameAddresses(t *testing.T) {
+	a := newArena(t, 4096)
+	l := NewTxLog(a)
+	l.Begin()
+	first := []nvm.Addr{l.Alloc(2), l.Alloc(8), l.Alloc(2)}
+
+	// The Validate phase re-executes the body; it must receive the same
+	// addresses in the same order, without allocating fresh memory.
+	l.BeginReplay()
+	for i, want := range first {
+		if got := l.Alloc(2); got != want {
+			t.Fatalf("replayed allocation %d = %d, want %d", i, got, want)
+		}
+	}
+	if a.Live() != len(first) {
+		t.Fatalf("replay allocated fresh blocks: %d live, want %d", a.Live(), len(first))
+	}
+	l.Commit()
+}
+
+func TestTxLogReplayCanGrow(t *testing.T) {
+	a := newArena(t, 4096)
+	l := NewTxLog(a)
+	l.Begin()
+	l.Alloc(2)
+	l.BeginReplay()
+	l.Alloc(2)
+	extra := l.Alloc(2) // the re-execution needed one more block
+	if extra == nvm.NilAddr {
+		t.Fatal("extra replay allocation failed")
+	}
+	if a.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", a.Live())
+	}
+	l.Abort()
+	if a.Live() != 0 {
+		t.Fatalf("abort after replay leaked %d blocks", a.Live())
+	}
+}

@@ -1,0 +1,108 @@
+package alloc
+
+import "crafty/internal/nvm"
+
+// TxLog records the allocations and frees performed while executing one
+// persistent transaction, implementing the memory-management protocol from
+// Section 6 of the Crafty paper:
+//
+//   - allocations by an attempt that aborts are released;
+//   - allocations by Crafty's Log phase are replayed (the same addresses are
+//     returned in the same order) when the Validate phase re-executes the
+//     transaction body;
+//   - frees are deferred until the transaction commits, and discarded if it
+//     never does.
+//
+// A TxLog belongs to one thread and is reset at each transaction boundary.
+type TxLog struct {
+	arena  *Arena
+	allocs []nvm.Addr
+	frees  []nvm.Addr
+
+	// replay is the index of the next recorded allocation to hand back out
+	// while re-executing a body (Validate phase); -1 means live allocation.
+	replay int
+}
+
+// NewTxLog creates an allocation log over arena.
+func NewTxLog(arena *Arena) *TxLog {
+	return &TxLog{arena: arena, replay: -1}
+}
+
+// Arena returns the underlying allocator.
+func (l *TxLog) Arena() *Arena { return l.arena }
+
+// Begin resets the log for a new persistent transaction.
+func (l *TxLog) Begin() {
+	l.allocs = l.allocs[:0]
+	l.frees = l.frees[:0]
+	l.replay = -1
+}
+
+// BeginReplay rewinds the allocation cursor so that a re-execution of the
+// body (Crafty's Validate phase, or a retried Log phase after a validation
+// failure keeps the same memory) receives the same addresses in the same
+// order. Frees recorded so far are discarded; the re-execution records them
+// again.
+func (l *TxLog) BeginReplay() {
+	l.replay = 0
+	l.frees = l.frees[:0]
+}
+
+// Alloc allocates a block of the given size, or replays a previously
+// recorded allocation when in replay mode.
+func (l *TxLog) Alloc(words int) nvm.Addr {
+	if l.replay >= 0 {
+		if l.replay < len(l.allocs) {
+			addr := l.allocs[l.replay]
+			l.replay++
+			return addr
+		}
+		// The re-execution allocated more than the original run (it observed
+		// different state); fall through to a live allocation, which will be
+		// released if the attempt fails.
+		addr := l.arena.MustAlloc(words)
+		l.allocs = append(l.allocs, addr)
+		l.replay = len(l.allocs)
+		return addr
+	}
+	addr := l.arena.MustAlloc(words)
+	l.allocs = append(l.allocs, addr)
+	return addr
+}
+
+// Free records a deferred free of addr.
+func (l *TxLog) Free(addr nvm.Addr) {
+	l.frees = append(l.frees, addr)
+}
+
+// Abort releases every allocation recorded since Begin; the transaction never
+// committed, so its memory must not leak. Deferred frees are discarded.
+func (l *TxLog) Abort() {
+	for _, addr := range l.allocs {
+		l.arena.Free(addr)
+	}
+	l.allocs = l.allocs[:0]
+	l.frees = l.frees[:0]
+	l.replay = -1
+}
+
+// Commit applies the deferred frees; the allocations become permanent. If the
+// committing execution was a replay that consumed fewer allocations than the
+// original run recorded, the surplus blocks are released so they do not leak.
+func (l *TxLog) Commit() {
+	if l.replay >= 0 {
+		for _, addr := range l.allocs[l.replay:] {
+			l.arena.Free(addr)
+		}
+	}
+	for _, addr := range l.frees {
+		l.arena.Free(addr)
+	}
+	l.allocs = l.allocs[:0]
+	l.frees = l.frees[:0]
+	l.replay = -1
+}
+
+// Allocated reports how many allocations the current transaction has made.
+func (l *TxLog) Allocated() int { return len(l.allocs) }

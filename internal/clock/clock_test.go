@@ -1,0 +1,112 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNowIsStrictlyIncreasing(t *testing.T) {
+	var c Clock
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("timestamp %d not greater than previous %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestFirstTimestampIsNonZero(t *testing.T) {
+	var c Clock
+	if ts := c.Now(); ts == 0 {
+		t.Fatal("first timestamp must be non-zero so 0 can mean 'no timestamp'")
+	}
+}
+
+func TestPeekDoesNotAdvance(t *testing.T) {
+	var c Clock
+	if got := c.Peek(); got != 0 {
+		t.Fatalf("Peek on fresh clock = %d, want 0", got)
+	}
+	c.Now()
+	c.Now()
+	before := c.Peek()
+	if got := c.Peek(); got != before {
+		t.Fatalf("Peek advanced the clock: %d then %d", before, got)
+	}
+	if ts := c.Now(); ts != before+1 {
+		t.Fatalf("Now after Peek = %d, want %d", ts, before+1)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(100)
+	if ts := c.Now(); ts != 101 {
+		t.Fatalf("Now after AdvanceTo(100) = %d, want 101", ts)
+	}
+	// AdvanceTo never moves the clock backwards.
+	c.AdvanceTo(5)
+	if ts := c.Now(); ts != 102 {
+		t.Fatalf("Now after backwards AdvanceTo = %d, want 102", ts)
+	}
+}
+
+func TestConcurrentUniqueness(t *testing.T) {
+	var c Clock
+	const goroutines = 8
+	const perGoroutine = 5000
+	results := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]uint64, 0, perGoroutine)
+			for i := 0; i < perGoroutine; i++ {
+				out = append(out, c.Now())
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, goroutines*perGoroutine)
+	for g, out := range results {
+		prev := uint64(0)
+		for _, ts := range out {
+			if ts <= prev {
+				t.Fatalf("goroutine %d saw non-monotonic timestamps: %d after %d", g, ts, prev)
+			}
+			prev = ts
+			if seen[ts] {
+				t.Fatalf("timestamp %d issued twice", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != goroutines*perGoroutine {
+		t.Fatalf("expected %d unique timestamps, got %d", goroutines*perGoroutine, len(seen))
+	}
+}
+
+func TestAdvanceToPropertyNeverDecreases(t *testing.T) {
+	prop := func(targets []uint16) bool {
+		var c Clock
+		prev := uint64(0)
+		for _, raw := range targets {
+			c.AdvanceTo(uint64(raw))
+			ts := c.Now()
+			if ts <= prev || ts <= uint64(raw) {
+				return false
+			}
+			prev = ts
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

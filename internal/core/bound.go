@@ -1,0 +1,177 @@
+package core
+
+import (
+	"runtime"
+
+	"crafty/internal/nvm"
+)
+
+// This file implements the lazy maintenance of tsLowerBound described in
+// Section 5.2 ("Discarding entries and bounding rollback severity").
+//
+// tsLowerBound is a global lower bound on the earliest timestamp any future
+// recovery could need to roll back to. Recovery rolls back every fully
+// persisted sequence whose timestamp is at least R, where R is the minimum
+// over all threads of the timestamp of the thread's most recent sequence;
+// since each thread's most recent sequence only gets newer over time,
+// min over threads of lastLoggedTS is a valid (and lazily refreshable) lower
+// bound on every future R. Entries older than tsLowerBound can therefore
+// never be needed again and may be overwritten when a circular log wraps.
+//
+// Two checks keep the bound honest:
+//
+//   - before a thread overwrites a half of its circular log, the newest
+//     timestamp still residing in that half must be older than tsLowerBound;
+//   - when appending a LOGGED entry, the new timestamp should not run more
+//     than MaxLag ahead of tsLowerBound, bounding how far back in time
+//     recovery may have to roll back.
+//
+// If either check fails, the thread refreshes the bound from every thread's
+// published state and, if some thread is delinquent (has not logged anything
+// recently and is not currently executing a transaction), forces an empty
+// ⟨LOGGED, now⟩ sequence into that thread's log, exactly as the paper
+// prescribes for delinquent threads.
+
+// lastTS returns the timestamp of the log's most recent sequence.
+func (l *undoLog) lastTS() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLoggedTS
+}
+
+// ensureLogSpace runs the overwrite check the first time the thread is about
+// to write into a half of its log during the current epoch.
+func (t *Thread) ensureLogSpace() {
+	head, _ := t.log.snapshotHead()
+	half := t.log.halfOf(head)
+	if t.log.needsCheck(half) {
+		t.checkOverwrite(half)
+		t.log.markChecked(half)
+	}
+}
+
+// makeRoom wraps the circular log after a Log phase ran out of entry slots.
+// startSlot is where that Log phase began appending; if it began at slot 0
+// and still ran out, the transaction simply does not fit in the configured
+// log and no amount of wrapping will help.
+func (t *Thread) makeRoom(startSlot int) {
+	if startSlot == 0 {
+		panic("core: transaction requires more undo log entries than Config.LogEntries; increase the log size")
+	}
+	t.checkOverwrite(0)
+	t.log.wrap(true)
+}
+
+// checkOverwrite blocks until every entry in the given half of the log is
+// provably unnecessary for recovery (its newest timestamp is older than
+// tsLowerBound), forcing delinquent threads forward as needed.
+func (t *Thread) checkOverwrite(half int) {
+	bound := t.log.overwriteBoundTS(half)
+	if bound == 0 {
+		return // the half has never held entries
+	}
+	for bound >= t.eng.tsLowerBound.Load() {
+		t.eng.refreshBound()
+		if bound < t.eng.tsLowerBound.Load() {
+			return
+		}
+		t.forceDelinquents(bound)
+		runtime.Gosched()
+	}
+}
+
+// checkLag keeps the distance between fresh timestamps and tsLowerBound below
+// MaxLag so that recovery never has to roll back arbitrarily far in time.
+func (t *Thread) checkLag(ts uint64) {
+	maxLag := t.eng.cfg.MaxLag
+	if ts < t.eng.tsLowerBound.Load()+maxLag {
+		return
+	}
+	t.eng.refreshBound()
+	if ts < t.eng.tsLowerBound.Load()+maxLag {
+		return
+	}
+	t.forceDelinquents(ts - maxLag)
+	t.eng.refreshBound()
+}
+
+// refreshBound recomputes tsLowerBound as the minimum over all registered
+// threads of the timestamp of their most recent sequence. Threads that have
+// never logged anything contribute nothing: recovery has nothing of theirs to
+// roll back.
+func (e *Engine) refreshBound() {
+	threads := e.threadsSnapshot()
+	min := uint64(0)
+	for _, u := range threads {
+		ts := u.log.lastTS()
+		if ts == 0 {
+			continue
+		}
+		if min == 0 || ts < min {
+			min = ts
+		}
+	}
+	if min == 0 {
+		min = e.hw.TimestampNow()
+	}
+	// Monotonically raise the published bound.
+	for {
+		cur := e.tsLowerBound.Load()
+		if min <= cur || e.tsLowerBound.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// forceDelinquents appends an empty ⟨LOGGED, now⟩ sequence to the log of
+// every thread whose most recent sequence is not newer than needAbove.
+// Forcing is what lets an active thread reuse its log (or bound rollback lag)
+// even when other threads have gone idle.
+func (t *Thread) forceDelinquents(needAbove uint64) {
+	for _, u := range t.eng.threadsSnapshot() {
+		if u.log.lastTS() > needAbove {
+			continue
+		}
+		ts := t.eng.hw.TimestampNow()
+		if u.forceEmpty(t.flusher, ts) {
+			u.lastCommittedTS.Store(ts)
+		}
+	}
+}
+
+// forceEmpty appends an empty LOGGED sequence to this thread's log on behalf
+// of the forcing thread (which owns flusher). The append only proceeds while
+// the owner is not itself reserving log slots; forcing an actively appending
+// thread is unnecessary anyway, since it is about to publish a newer
+// timestamp of its own.
+//
+// Appending the empty sequence makes the owner's previous sequence no longer
+// its last, so recovery will no longer unconditionally roll that sequence
+// back — which is only sound if its writes are actually durable. The owner
+// flushed them but may not have fenced yet, so the forcer first re-flushes
+// the written-to addresses of the owner's most recent sequence; the drain
+// inside appendEmptyLoggedLocked makes them durable before the empty marker
+// becomes visible to recovery.
+//
+// If the owner's log is completely full (an idle thread that stopped with no
+// slot to spare), the forcer wraps the owner's log first — which is safe
+// exactly when the overwrite condition for its first half already holds.
+func (u *Thread) forceEmpty(flusher *nvm.Flusher, ts uint64) bool {
+	u.log.mu.Lock()
+	defer u.log.mu.Unlock()
+	if u.appending.Load() {
+		return false
+	}
+	for _, rec := range u.log.lastSequenceEntriesLocked() {
+		flusher.Flush(rec.addr)
+	}
+	if u.log.head >= u.log.capEntries {
+		if u.log.lastTSOfHalf[0] >= u.eng.tsLowerBound.Load() {
+			// The owner's oldest half may still be needed by recovery; try
+			// again once other delinquent threads have raised the bound.
+			return false
+		}
+		u.log.wrapLocked(true)
+	}
+	return u.log.appendEmptyLoggedLocked(flusher, ts)
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"crafty/internal/htm"
+	"crafty/internal/nvm"
+)
+
+// Undo log entry encoding (Section 5.2 and Section 6 of the paper).
+//
+// Each entry occupies two 8-byte words in non-volatile memory:
+//
+//	tag word:     [ addr-or-marker | payloadLowBit | wrapBit ]   (addr << 3)
+//	payload word: [ payload with its lowest bit replaced by wrapBit ]
+//
+// Because NVM only guarantees persistence at word granularity, *both* words
+// carry the log's wraparound bit so the recovery observer can tell whether an
+// entry (and each of its words) was written after the latest wraparound of
+// the circular log. Payload values need all 64 bits, so the payload's genuine
+// low bit is stolen into the tag word (bit 1) and its position in the payload
+// word is reused for the wraparound bit — exactly the scheme described in
+// "Distinguishing reused entries".
+//
+// For data entries the tag is the written-to word address and the payload is
+// the old value. The LOGGED and COMMITTED markers are encoded as reserved
+// "addresses" that can never be real heap words, with the sequence timestamp
+// as payload. The implementation merges LOGGED and COMMITTED into a single
+// entry whose tag is rewritten on commit (Section 6); recovery does not
+// distinguish them.
+const (
+	entryWords = 2
+
+	wrapBitMask   = uint64(1) << 0
+	payloadLowBit = uint64(1) << 1
+	tagShift      = 3
+
+	// Reserved tag values for marker entries. Real heap addresses are far
+	// smaller than these (a heap of 2^48 words would already exceed any
+	// realistic machine).
+	markerLogged    = uint64(1)<<56 - 1
+	markerCommitted = uint64(1)<<56 - 2
+)
+
+// encodeEntry packs a (tag, payload) pair into the two stored words for the
+// given wraparound bit. Data entries steal the payload's low bit into the tag
+// word (the payload is a full 64-bit program value); marker entries shift the
+// timestamp up one bit instead, because the timestamp is not known until the
+// hardware transaction's commit point and therefore cannot contribute a bit
+// to the tag word, which is written earlier.
+func encodeEntry(tag, payload, wrapBit uint64) (tagWord, payloadWord uint64) {
+	if isMarker(tag) {
+		tagWord = tag<<tagShift | wrapBit
+		payloadWord = payload<<1 | wrapBit
+		return tagWord, payloadWord
+	}
+	tagWord = tag<<tagShift | (payload&1)<<1 | wrapBit
+	payloadWord = (payload &^ 1) | wrapBit
+	return tagWord, payloadWord
+}
+
+// decodeEntry unpacks the two stored words. wrapTag and wrapPayload are the
+// wraparound bits carried by each word; the entry is only fully persisted in
+// a given epoch if both match that epoch's bit.
+func decodeEntry(tagWord, payloadWord uint64) (tag, payload, wrapTag, wrapPayload uint64) {
+	tag = tagWord >> tagShift
+	wrapTag = tagWord & wrapBitMask
+	wrapPayload = payloadWord & wrapBitMask
+	if isMarker(tag) {
+		payload = payloadWord >> 1
+	} else {
+		payload = (payloadWord &^ 1) | (tagWord>>1)&1
+	}
+	return tag, payload, wrapTag, wrapPayload
+}
+
+// isMarker reports whether a decoded tag is one of the reserved markers.
+func isMarker(tag uint64) bool { return tag == markerLogged || tag == markerCommitted }
+
+// storer abstracts "how log words reach memory": inside the Log phase entries
+// are written transactionally through the hardware transaction; in the
+// single-global-lock fallback with chunk size 1 they are written directly to
+// the heap.
+type storer interface {
+	Store(addr nvm.Addr, val uint64)
+}
+
+// undoLog is one thread's circular persistent undo log.
+//
+// The slots [0, capEntries) live in NVM starting at base, two words per
+// entry. head and epoch are volatile (recovery reconstructs everything it
+// needs from the persisted words alone). The owning thread appends entries;
+// other threads may append an empty LOGGED entry through ForceEmptyLogged
+// when the owner is delinquent (Section 5.2), which is why head manipulation
+// is guarded by mu.
+type undoLog struct {
+	heap       *nvm.Heap
+	base       nvm.Addr
+	capEntries int
+
+	mu    sync.Mutex
+	head  int
+	epoch uint64 // starts at 1 so the wrap bit of a fresh log differs from zeroed memory
+
+	// lastTSOfHalf records the newest timestamp written into each half of the
+	// log during the half's most recent pass. Before a later pass may
+	// overwrite a half, every entry in it must have become unnecessary for
+	// recovery, i.e. lastTSOfHalf[half] < tsLowerBound (the Section 5.2 log
+	// reuse condition; see Thread.checkOverwrite).
+	lastTSOfHalf [2]uint64
+
+	// lastLoggedTS is the timestamp of the thread's most recent LOGGED or
+	// COMMITTED entry.
+	lastLoggedTS uint64
+
+	// checkedHalf records whether the Section 5.2 overwrite condition has
+	// been verified for each half of the log during the current epoch.
+	checkedHalf [2]bool
+}
+
+// newUndoLog carves a circular log of capEntries entries from the heap.
+func newUndoLog(heap *nvm.Heap, capEntries int) (*undoLog, error) {
+	if capEntries < 8 {
+		return nil, fmt.Errorf("core: undo log of %d entries is too small", capEntries)
+	}
+	base, err := heap.Carve(capEntries * entryWords)
+	if err != nil {
+		return nil, err
+	}
+	return openUndoLog(heap, base, capEntries), nil
+}
+
+// openUndoLog attaches to an existing log region (used when re-registering
+// threads after recovery reuses directory slots).
+func openUndoLog(heap *nvm.Heap, base nvm.Addr, capEntries int) *undoLog {
+	return &undoLog{heap: heap, base: base, capEntries: capEntries, epoch: 1}
+}
+
+// wrapBit returns the wraparound bit for the current epoch.
+func (l *undoLog) wrapBit() uint64 { return l.epoch & 1 }
+
+// slotAddr returns the address of the tag word of entry slot i.
+func (l *undoLog) slotAddr(i int) nvm.Addr { return l.base + nvm.Addr(i*entryWords) }
+
+// entriesLeft reports how many entry slots remain before the log must wrap.
+func (l *undoLog) entriesLeft() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.capEntries - l.head
+}
+
+// writeEntry writes one encoded entry into slot using the given storer.
+func (l *undoLog) writeEntry(w storer, slot int, tag, payload uint64) {
+	tagWord, payloadWord := encodeEntry(tag, payload, l.wrapBit())
+	addr := l.slotAddr(slot)
+	w.Store(addr, tagWord)
+	w.Store(addr+1, payloadWord)
+}
+
+// writeMarkerAtCommit writes a marker entry whose timestamp is the enclosing
+// hardware transaction's commit timestamp, i.e. the timestamp is drawn at the
+// transaction's serialization point exactly as the paper's RDTSC-inside-RTM
+// does. capture observes the timestamp (it runs only if the transaction
+// commits).
+func (l *undoLog) writeMarkerAtCommit(hwtx *htm.Tx, slot int, kind uint64, capture func(ts uint64)) {
+	wrap := l.wrapBit()
+	addr := l.slotAddr(slot)
+	hwtx.Store(addr, kind<<tagShift|wrap)
+	hwtx.StoreAtCommit(addr+1, func(ts uint64) uint64 {
+		capture(ts)
+		return ts<<1 | wrap
+	})
+}
+
+// halfOf returns which half of the log a slot index falls in.
+func (l *undoLog) halfOf(slot int) int {
+	if slot >= l.capEntries/2 {
+		return 1
+	}
+	return 0
+}
+
+// advance records that a batch of n entries starting at startSlot has been
+// appended (the batch's hardware transaction committed) and maintains the
+// per-half newest-timestamp bookkeeping; ts is the timestamp of the batch's
+// marker entry. The head is set to startSlot+n rather than incremented so
+// that a racing forceEmptyLogged by another thread (whose empty marker the
+// batch simply overwrote) cannot desynchronize the slot accounting.
+func (l *undoLog) advance(startSlot, n int, ts uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastTSOfHalf[l.halfOf(startSlot)] = ts
+	l.head = startSlot + n
+	if l.head > l.capEntries/2 && startSlot <= l.capEntries/2 {
+		// The batch spilled into the second half; attribute its timestamp
+		// there too so the reuse check stays conservative.
+		l.lastTSOfHalf[1] = ts
+	}
+	l.lastLoggedTS = ts
+}
+
+// wrap starts a new epoch at slot 0. The caller must already have verified
+// the overwrite condition of Section 5.2 for the first half (see
+// Thread.checkOverwrite); checkedAlready records that fact so the owner does
+// not re-run the check for the first half of the fresh epoch.
+func (l *undoLog) wrap(checkedAlready bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wrapLocked(checkedAlready)
+}
+
+// wrapLocked is wrap for callers that already hold l.mu.
+func (l *undoLog) wrapLocked(checkedAlready bool) {
+	l.epoch++
+	l.head = 0
+	l.checkedHalf[0] = checkedAlready
+	l.checkedHalf[1] = false
+}
+
+// needsCheck reports whether the overwrite condition still has to be verified
+// before writing into the given half during the current epoch, and
+// markChecked records that it has been.
+func (l *undoLog) needsCheck(half int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.checkedHalf[half]
+}
+
+// markChecked records that the overwrite condition has been verified for the
+// given half of the current epoch.
+func (l *undoLog) markChecked(half int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkedHalf[half] = true
+}
+
+// overwriteBoundTS returns the newest timestamp residing in the given half
+// from its previous pass: before that half may be overwritten, this timestamp
+// must be older than tsLowerBound. Zero means the half has never held
+// entries, so overwriting it is trivially safe.
+func (l *undoLog) overwriteBoundTS(half int) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastTSOfHalf[half]
+}
+
+// snapshotHead returns the current head and epoch under the log's lock.
+func (l *undoLog) snapshotHead() (head int, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head, l.epoch
+}
+
+// appendEmptyLoggedLocked appends an empty ⟨LOGGED, ts⟩ sequence and persists
+// it. The caller must hold l.mu, must have established that the owning thread
+// is not concurrently reserving slots, and must already have made the owner's
+// previous sequence durable (see Thread.forceEmpty). The flusher belongs to
+// the forcing thread.
+func (l *undoLog) appendEmptyLoggedLocked(flusher *nvm.Flusher, ts uint64) bool {
+	if l.head >= l.capEntries {
+		return false
+	}
+	tagWord, payloadWord := encodeEntry(markerLogged, ts, l.epoch&1)
+	addr := l.slotAddr(l.head)
+	l.heap.Store(addr, tagWord)
+	l.heap.Store(addr+1, payloadWord)
+	flusher.FlushRange(addr, entryWords)
+	flusher.Drain()
+	l.lastTSOfHalf[l.halfOf(l.head)] = ts
+	l.head++
+	l.lastLoggedTS = ts
+	return true
+}
+
+// lastSequenceEntriesLocked returns the data entries of the log's most recent
+// sequence (the entries between the second-to-last marker and the last
+// marker). The caller must hold l.mu.
+func (l *undoLog) lastSequenceEntriesLocked() []undoRec {
+	if l.head == 0 {
+		return nil
+	}
+	// Slot head-1 is the most recent marker; walk backwards over the data
+	// entries that precede it.
+	var entries []undoRec
+	for slot := l.head - 2; slot >= 0; slot-- {
+		tagWord := l.heap.Load(l.slotAddr(slot))
+		payloadWord := l.heap.Load(l.slotAddr(slot) + 1)
+		tag, _, _, _ := decodeEntry(tagWord, payloadWord)
+		if isMarker(tag) || tag == uint64(nvm.NilAddr) {
+			break
+		}
+		entries = append(entries, undoRec{addr: nvm.Addr(tag)})
+	}
+	return entries
+}

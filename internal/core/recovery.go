@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// This file implements the recovery observer of Section 5. After a crash the
+// observer scans each thread's circular undo log in the surviving media
+// image, identifies the fully persisted sequences, and rolls back
+//
+//   - each thread's most recent fully persisted sequence (its writes may have
+//     persisted only partially), and
+//   - transitively, every sequence whose timestamp is greater than or equal
+//     to that of any sequence being rolled back,
+//
+// applying each sequence's ⟨address, old value⟩ entries in reverse order and
+// processing sequences in reverse timestamp order. The surviving state then
+// corresponds to the prefix of the transaction serialization that committed
+// strictly before the earliest rolled-back timestamp.
+
+// sequence is one fully persisted run of undo entries concluded by a
+// LOGGED/COMMITTED marker, as reconstructed from a thread's log.
+type sequence struct {
+	thread  int
+	ts      uint64
+	entries []undoRec // in append order (oldest first)
+}
+
+// scanLog reconstructs the fully persisted sequences of one thread's circular
+// log from the heap's current (post-crash) contents.
+//
+// Grouping rules (Section 5.1 and 5.2):
+//
+//   - an entry is fully persisted only if both of its words carry the same
+//     wraparound bit;
+//   - a sequence is a consecutive run of data entries sharing one wraparound
+//     bit, concluded by a marker entry with that same bit;
+//   - a run may start at slot 0 or immediately after a marker with the same
+//     bit; runs that begin anywhere else are the partially overwritten
+//     remains of an older epoch and are ignored (the Section 5.2 reuse
+//     conditions guarantee such remains can never need rollback).
+func scanLog(heap *nvm.Heap, base nvm.Addr, capEntries, thread int) []sequence {
+	heapWords := uint64(heap.Words())
+
+	type decoded struct {
+		valid   bool
+		marker  bool
+		tag     uint64
+		payload uint64
+		bit     uint64
+	}
+	entries := make([]decoded, capEntries)
+	for i := 0; i < capEntries; i++ {
+		tagWord := heap.Load(base + nvm.Addr(i*entryWords))
+		payloadWord := heap.Load(base + nvm.Addr(i*entryWords) + 1)
+		tag, payload, wrapTag, wrapPayload := decodeEntry(tagWord, payloadWord)
+		d := decoded{tag: tag, payload: payload, bit: wrapTag}
+		switch {
+		case wrapTag != wrapPayload:
+			// Torn entry: the two words did not persist together.
+		case isMarker(tag):
+			d.valid, d.marker = true, true
+		case tag != uint64(nvm.NilAddr) && tag < heapWords:
+			d.valid = true
+		}
+		entries[i] = d
+	}
+
+	var seqs []sequence
+	var run []undoRec
+	runValid := false // whether the current position may start/extend a run
+	var runBit uint64
+
+	startRun := func(bit uint64) {
+		run = run[:0]
+		runValid = true
+		runBit = bit
+	}
+
+	for i := 0; i < capEntries; i++ {
+		d := entries[i]
+		if !d.valid {
+			runValid = false
+			continue
+		}
+		if i == 0 {
+			// Slot 0 is always the first entry written in an epoch, so a run
+			// may begin here unconditionally.
+			startRun(d.bit)
+		} else if runValid && d.bit != runBit {
+			// The epoch boundary (log head at crash time): entries beyond it
+			// belong to the previous epoch, and the first of them is not
+			// preceded by a same-epoch marker, so it cannot start a run. Any
+			// sequence it belonged to was partially overwritten, which the
+			// Section 5.2 reuse conditions guarantee is never needed again.
+			runValid = false
+		}
+		if d.marker {
+			if runValid && d.bit == runBit {
+				seqs = append(seqs, sequence{
+					thread:  thread,
+					ts:      d.payload,
+					entries: append([]undoRec(nil), run...),
+				})
+			}
+			// Whether or not the marker concluded a run, a new run may start
+			// immediately after any fully persisted marker.
+			startRun(d.bit)
+			continue
+		}
+		if !runValid {
+			continue
+		}
+		run = append(run, undoRec{addr: nvm.Addr(d.tag), old: d.payload})
+	}
+	return seqs
+}
+
+// Recover restores the heap to a crash-consistent state using the log
+// directory recorded in layout. It must run before any new transactions
+// execute on the heap; the typical flow after a crash is
+//
+//	report, err := core.Recover(heap, layout)
+//	eng, err := core.Open(heap, layout, cfg)
+//
+// Recover is idempotent: running it again on an already-recovered heap rolls
+// back nothing further.
+func Recover(heap *nvm.Heap, layout Layout) (ptm.RecoveryReport, error) {
+	var report ptm.RecoveryReport
+	if layout.DirectoryBase == nvm.NilAddr || layout.MaxThreads == 0 || layout.LogEntries == 0 {
+		return report, fmt.Errorf("core: invalid layout %+v", layout)
+	}
+
+	// Gather every thread's fully persisted sequences.
+	var all []sequence
+	for slot := 0; slot < layout.MaxThreads; slot++ {
+		logBase := nvm.Addr(heap.Load(layout.DirectoryBase + nvm.Addr(slot)))
+		if logBase == nvm.NilAddr {
+			continue
+		}
+		report.ThreadsScanned++
+		seqs := scanLog(heap, logBase, layout.LogEntries, slot)
+		all = append(all, seqs...)
+	}
+	report.SequencesFound = len(all)
+	if len(all) == 0 {
+		return report, nil
+	}
+
+	// R is the minimum over threads of the timestamp of the thread's most
+	// recent sequence; every sequence with ts >= R is rolled back.
+	lastByThread := make(map[int]uint64)
+	for _, s := range all {
+		if s.ts > lastByThread[s.thread] {
+			lastByThread[s.thread] = s.ts
+		}
+		if s.ts > report.MaxTimestamp {
+			report.MaxTimestamp = s.ts
+		}
+	}
+	rollbackFrom := uint64(0)
+	for _, last := range lastByThread {
+		if rollbackFrom == 0 || last < rollbackFrom {
+			rollbackFrom = last
+		}
+	}
+
+	var rollback []sequence
+	for _, s := range all {
+		if s.ts >= rollbackFrom {
+			rollback = append(rollback, s)
+		}
+	}
+	// Reverse timestamp order; timestamps are unique, so the order is total.
+	sort.Slice(rollback, func(i, j int) bool { return rollback[i].ts > rollback[j].ts })
+
+	flusher := heap.NewFlusher()
+	for _, s := range rollback {
+		for i := len(s.entries) - 1; i >= 0; i-- {
+			heap.Store(s.entries[i].addr, s.entries[i].old)
+			flusher.Flush(s.entries[i].addr)
+			report.WordsRestored++
+		}
+		report.SequencesRolledBack++
+	}
+	// The restored state must itself be durable before new transactions run.
+	flusher.Drain()
+
+	// Invalidate every log so that a subsequent crash (before the logs are
+	// reused) does not roll the same sequences back again against new state.
+	for slot := 0; slot < layout.MaxThreads; slot++ {
+		logBase := nvm.Addr(heap.Load(layout.DirectoryBase + nvm.Addr(slot)))
+		if logBase == nvm.NilAddr {
+			continue
+		}
+		for w := logBase; w < logBase+nvm.Addr(layout.LogEntries*entryWords); w++ {
+			heap.Store(w, 0)
+		}
+		flusher.FlushRange(logBase, layout.LogEntries*entryWords)
+	}
+	flusher.Drain()
+	return report, nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"crafty/internal/alloc"
+	"crafty/internal/htm"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// undoRec is the volatile mirror of one persisted undo entry.
+type undoRec struct {
+	addr nvm.Addr
+	old  uint64
+}
+
+// redoRec is one entry of the volatile redo log built while the Log phase
+// rolls the transaction's writes back.
+type redoRec struct {
+	addr nvm.Addr
+	val  uint64
+}
+
+// attempt carries the per-transaction state shared between the orchestration
+// loop and the hardware transaction bodies of the individual phases.
+type attempt struct {
+	// Set by the Log phase.
+	startSlot  int    // first undo log slot used by this transaction
+	markerSlot int    // slot holding the merged LOGGED/COMMITTED entry
+	lastTS     uint64 // timestamp of the LOGGED entry
+	writes     int    // persistent writes logged
+	readOnly   bool
+
+	// Set by the Redo or Validate phase.
+	commitTS uint64
+
+	// Failure signals raised inside hardware transaction bodies; the
+	// orchestration inspects them after the corresponding explicit abort.
+	sglBusy          bool
+	logFull          bool
+	checkFailed      bool // Redo phase timestamp check failed
+	validationFailed bool // Validate phase found a mismatched undo entry
+	userErr          error
+}
+
+// Thread is one worker's handle onto a Crafty engine; it implements
+// ptm.Thread. A Thread owns a circular persistent undo log, a volatile redo
+// log, and a hardware-transaction handle, and must not be shared between
+// goroutines.
+type Thread struct {
+	eng     *Engine
+	slot    int
+	hw      *htm.Thread
+	log     *undoLog
+	flusher *nvm.Flusher
+	txAlloc *alloc.TxLog
+
+	// Volatile per-transaction logs, reused across transactions.
+	undo []undoRec
+	redo []redoRec
+
+	// lastCommittedTS publishes the timestamp of this thread's most recent
+	// committed (or forced empty) sequence for the Section 5.2 bound
+	// maintenance performed by other threads.
+	lastCommittedTS atomic.Uint64
+
+	// inUse is true while the thread is executing a persistent transaction.
+	inUse atomic.Bool
+
+	// appending is true only while the thread is actively reserving and
+	// writing undo log slots (the Log phase and the chunked SGL path). Other
+	// threads may force an empty LOGGED entry into this thread's log only
+	// while appending is false; checking a narrower window than inUse keeps
+	// two threads that are both blocked in the Section 5.2 reuse check able
+	// to unblock each other.
+	appending atomic.Bool
+
+	// Statistics.
+	outcomes   [ptm.NumOutcomes]uint64
+	writes     uint64
+	userAborts uint64
+}
+
+// Stats implements ptm.Thread.
+func (t *Thread) Stats() ptm.Stats {
+	var s ptm.Stats
+	copy(s.Persistent[:], t.outcomes[:])
+	s.HTM = t.hw.Stats()
+	s.Writes = t.writes
+	s.UserAborts = t.userAborts
+	return s
+}
+
+// Slot returns the thread's log directory slot (used by tests).
+func (t *Thread) Slot() int { return t.slot }
+
+// LastCommittedTS returns the timestamp of the thread's most recent committed
+// sequence (0 if none).
+func (t *Thread) LastCommittedTS() uint64 { return t.lastCommittedTS.Load() }
+
+// txMode distinguishes the two phases that execute the transaction body.
+type txMode int
+
+const (
+	modeLog txMode = iota
+	modeValidate
+)
+
+// craftyTx adapts a hardware transaction to the ptm.Tx interface for the Log
+// and Validate phases.
+type craftyTx struct {
+	t      *Thread
+	hwtx   *htm.Tx
+	a      *attempt
+	mode   txMode
+	cursor int // next undo entry expected by the Validate phase
+}
+
+// Load implements ptm.Tx.
+func (c *craftyTx) Load(addr nvm.Addr) uint64 { return c.hwtx.Load(addr) }
+
+// Store implements ptm.Tx.
+func (c *craftyTx) Store(addr nvm.Addr, val uint64) {
+	switch c.mode {
+	case modeLog:
+		// Algorithm 1: record the old value in the persistent undo log (via
+		// the hardware transaction, so the entry only becomes visible if the
+		// Log phase commits), then perform the write in place.
+		slot := c.a.startSlot + len(c.t.undo)
+		if slot >= c.t.log.capEntries-1 { // reserve one slot for the marker
+			c.a.logFull = true
+			c.hwtx.Abort()
+		}
+		old := c.hwtx.Load(addr)
+		c.t.log.writeEntry(c.hwtx, slot, uint64(addr), old)
+		c.t.undo = append(c.t.undo, undoRec{addr: addr, old: old})
+		c.hwtx.Store(addr, val)
+	case modeValidate:
+		// Algorithm 3: the next undo entry must name this address and its old
+		// value must still be the current value; otherwise another thread
+		// committed a conflicting write after our Log phase and validation
+		// fails.
+		if c.cursor >= len(c.t.undo) ||
+			c.t.undo[c.cursor].addr != addr ||
+			c.hwtx.Load(addr) != c.t.undo[c.cursor].old {
+			c.a.validationFailed = true
+			c.hwtx.Abort()
+		}
+		c.cursor++
+		c.hwtx.Store(addr, val)
+	}
+}
+
+// Alloc implements ptm.Tx.
+func (c *craftyTx) Alloc(words int) nvm.Addr {
+	if c.t.txAlloc == nil {
+		panic("core: Tx.Alloc requires Config.ArenaWords > 0")
+	}
+	return c.t.txAlloc.Alloc(words)
+}
+
+// Free implements ptm.Tx.
+func (c *craftyTx) Free(addr nvm.Addr) {
+	if c.t.txAlloc == nil {
+		panic("core: Tx.Free requires Config.ArenaWords > 0")
+	}
+	c.t.txAlloc.Free(addr)
+}
+
+// Atomic implements ptm.Thread: it executes body as one Crafty persistent
+// transaction, following the thread-safe flow of Figure 3 (Log → Redo →
+// Validate → single-global-lock fallback) or, in thread-unsafe mode, the
+// chunked flow of Figure 4.
+func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
+	if t.eng.cfg.Mode == ThreadUnsafe {
+		return t.atomicThreadUnsafe(body)
+	}
+	t.inUse.Store(true)
+	defer t.inUse.Store(false)
+	if t.txAlloc != nil {
+		t.txAlloc.Begin()
+	}
+
+	failures := 0
+	fallback := func(body func(tx ptm.Tx) error) error {
+		return t.runSGL(body, false)
+	}
+
+	for {
+		t.ensureLogSpace()
+		var a attempt
+		cause := t.logPhase(body, &a)
+		if a.userErr != nil {
+			return t.abandon(a.userErr)
+		}
+		if cause != htm.CauseNone {
+			// Any allocations made by the aborted attempt are handed back out
+			// in the same order when the body re-executes, so retries neither
+			// leak arena blocks nor observe fresh addresses.
+			t.prepareRetry()
+			if a.logFull {
+				t.makeRoom(a.startSlot)
+				continue
+			}
+			if a.sglBusy {
+				t.waitForSGL()
+			}
+			if failures++; failures > t.eng.cfg.MaxRetries {
+				return fallback(body)
+			}
+			continue
+		}
+		if a.readOnly {
+			t.finishCommit(ptm.OutcomeReadOnly, &a)
+			return nil
+		}
+
+		// Persist the undo log entries (flush, no drain: the Redo or Validate
+		// phase's hardware transaction commit provides the fence).
+		t.flusher.FlushRange(t.log.slotAddr(a.startSlot), (a.writes+1)*entryWords)
+
+		if !t.eng.cfg.DisableRedo {
+			rcause := t.redoPhase(&a)
+			if rcause == htm.CauseNone {
+				t.finishCommit(ptm.OutcomeRedo, &a)
+				return nil
+			}
+			if a.sglBusy {
+				// The single global lock was taken; whatever its holder wrote
+				// may invalidate our log, so restart from the Log phase once
+				// the lock is free.
+				t.waitForSGL()
+				if failures++; failures > t.eng.cfg.MaxRetries {
+					return fallback(body)
+				}
+				t.prepareRetry()
+				continue
+			}
+			if !a.checkFailed {
+				// Genuine hardware abort (conflict, capacity, spurious).
+				failures++
+			}
+		}
+
+		if t.eng.cfg.DisableValidate {
+			// Crafty-NoValidate: a failed Redo phase restarts the whole
+			// transaction from the Log phase.
+			if failures++; failures > t.eng.cfg.MaxRetries {
+				return fallback(body)
+			}
+			t.prepareRetry()
+			continue
+		}
+
+		committed := false
+		restart := false
+		for vtry := 0; vtry <= t.eng.cfg.ValidateRetries; vtry++ {
+			vcause := t.validatePhase(body, &a)
+			if a.userErr != nil {
+				return t.abandon(a.userErr)
+			}
+			if vcause == htm.CauseNone {
+				committed = true
+				break
+			}
+			if a.validationFailed {
+				restart = true
+				break
+			}
+			if a.sglBusy {
+				t.waitForSGL()
+				restart = true
+				break
+			}
+			failures++
+			if failures > t.eng.cfg.MaxRetries {
+				return fallback(body)
+			}
+		}
+		if committed {
+			t.finishCommit(ptm.OutcomeValidate, &a)
+			return nil
+		}
+		if !restart {
+			// Validate retries exhausted without a decisive outcome.
+			failures++
+		}
+		if failures > t.eng.cfg.MaxRetries {
+			return fallback(body)
+		}
+		t.prepareRetry()
+	}
+}
+
+// abandon discards the transaction after the body returned an error.
+func (t *Thread) abandon(userErr error) error {
+	if t.txAlloc != nil {
+		t.txAlloc.Abort()
+	}
+	t.userAborts++
+	return fmt.Errorf("%w: %w", ptm.ErrAborted, userErr)
+}
+
+// prepareRetry readies per-transaction state for re-executing the body from
+// the Log phase after a validation failure or conflicting commit. Memory
+// allocated by the previous execution is replayed so repeated executions of
+// the body neither leak nor observe fresh addresses.
+func (t *Thread) prepareRetry() {
+	if t.txAlloc != nil {
+		t.txAlloc.BeginReplay()
+	}
+}
+
+// finishCommit records a committed transaction's statistics and performs the
+// lazy Section 5.2 bound maintenance.
+func (t *Thread) finishCommit(outcome ptm.Outcome, a *attempt) {
+	if t.txAlloc != nil {
+		t.txAlloc.Commit()
+	}
+	t.outcomes[outcome]++
+	t.writes += uint64(a.writes)
+	if a.commitTS != 0 {
+		t.lastCommittedTS.Store(a.commitTS)
+	} else if a.lastTS != 0 {
+		t.lastCommittedTS.Store(a.lastTS)
+	}
+	if !a.readOnly && a.lastTS != 0 {
+		t.checkLag(a.lastTS)
+	}
+}
+
+// waitForSGL spins until the single global lock is free. The subsequent
+// hardware transaction re-checks it, so a race here only costs another
+// retry.
+func (t *Thread) waitForSGL() {
+	for t.eng.hw.NonTxLoad(t.eng.sglAddr) != 0 {
+	}
+}

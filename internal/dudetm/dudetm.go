@@ -1,0 +1,32 @@
+// Package dudetm exposes the DudeTM baseline (Liu et al., ASPLOS 2017) as
+// modelled by the NV-HTM artifact the Crafty paper extends: a decoupled
+// persistent transaction design whose commit timestamps come from a global
+// counter incremented inside the hardware transaction. That choice makes
+// every pair of concurrent writing hardware transactions conflict on the
+// counter's cache line, which is why the Crafty paper calls DudeTM
+// "effectively incompatible with commodity HTM".
+//
+// The implementation is shared with package nvhtm; this package only selects
+// the DudeTM timestamp scheme and name.
+package dudetm
+
+import (
+	"crafty/internal/nvhtm"
+	"crafty/internal/nvm"
+)
+
+// Config configures a DudeTM engine; it mirrors nvhtm.Config minus the fields
+// this package fixes.
+type Config = nvhtm.Config
+
+// Engine is a DudeTM persistent transaction engine.
+type Engine = nvhtm.Engine
+
+// NewEngine creates a DudeTM engine over heap.
+func NewEngine(heap *nvm.Heap, cfg Config) (*Engine, error) {
+	cfg.GlobalClockInHTM = true
+	if cfg.Name == "" {
+		cfg.Name = "DudeTM"
+	}
+	return nvhtm.NewEngine(heap, cfg)
+}

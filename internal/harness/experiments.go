@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"crafty/internal/htm"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+	"crafty/internal/workloads/bank"
+	"crafty/internal/workloads/btree"
+	"crafty/internal/workloads/stamp"
+)
+
+// WorkloadFactory builds a workload instance for a given thread count (some
+// configurations, such as the partitioned bank, depend on it).
+type WorkloadFactory struct {
+	Label string
+	New   func(threads int) workloads.Workload
+}
+
+// Figure describes one throughput figure from the paper: a set of workload
+// configurations, run over the paper's engines and thread counts, reported as
+// throughput normalized to the single-thread Non-durable run of the same
+// workload.
+type Figure struct {
+	ID        string
+	Title     string
+	Workloads []WorkloadFactory
+	Engines   []EngineKind
+	Threads   []int
+	Latency   time.Duration
+}
+
+// DefaultThreads is the paper's thread-count axis.
+var DefaultThreads = []int{1, 2, 4, 8, 12, 15, 16}
+
+// bankFactory builds a bank workload factory at the given contention level.
+func bankFactory(c bank.Contention) WorkloadFactory {
+	return WorkloadFactory{
+		Label: fmt.Sprintf("bank/%s", c),
+		New: func(threads int) workloads.Workload {
+			return bank.New(bank.Config{Contention: c, Threads: threads})
+		},
+	}
+}
+
+// btreeFactory builds a B+ tree workload factory.
+func btreeFactory(m btree.Mix) WorkloadFactory {
+	return WorkloadFactory{
+		Label: fmt.Sprintf("btree/%s", m),
+		New:   func(int) workloads.Workload { return btree.New(btree.Config{Mix: m}) },
+	}
+}
+
+// stampFactories builds the eight STAMP configurations of Figure 8.
+func stampFactories() []WorkloadFactory {
+	return []WorkloadFactory{
+		{Label: "kmeans/high", New: func(int) workloads.Workload { return stamp.NewKMeans(true) }},
+		{Label: "kmeans/low", New: func(int) workloads.Workload { return stamp.NewKMeans(false) }},
+		{Label: "vacation/high", New: func(int) workloads.Workload { return stamp.NewVacation(true) }},
+		{Label: "vacation/low", New: func(int) workloads.Workload { return stamp.NewVacation(false) }},
+		{Label: "labyrinth", New: func(int) workloads.Workload { return stamp.NewLabyrinth() }},
+		{Label: "ssca2", New: func(int) workloads.Workload { return stamp.NewSSCA2() }},
+		{Label: "genome", New: func(int) workloads.Workload { return stamp.NewGenome() }},
+		{Label: "intruder", New: func(int) workloads.Workload { return stamp.NewIntruder() }},
+	}
+}
+
+// Figures returns the full set of throughput experiments keyed by the paper's
+// figure numbers. Figures 22–24 are the 100 ns latency sensitivity repeats of
+// Figures 6–8.
+func Figures() map[string]Figure {
+	figs := map[string]Figure{
+		"fig6": {
+			ID:    "fig6",
+			Title: "Figure 6: bank microbenchmark throughput (300 ns)",
+			Workloads: []WorkloadFactory{
+				bankFactory(bank.HighContention),
+				bankFactory(bank.MediumContention),
+				bankFactory(bank.NoContention),
+			},
+			Engines: PaperEngines,
+			Threads: DefaultThreads,
+			Latency: 300 * time.Nanosecond,
+		},
+		"fig7": {
+			ID:    "fig7",
+			Title: "Figure 7: B+ tree microbenchmark throughput (300 ns)",
+			Workloads: []WorkloadFactory{
+				btreeFactory(btree.InsertOnly),
+				btreeFactory(btree.Mixed),
+			},
+			Engines: PaperEngines,
+			Threads: DefaultThreads,
+			Latency: 300 * time.Nanosecond,
+		},
+		"fig8": {
+			ID:        "fig8",
+			Title:     "Figure 8: STAMP benchmark throughput (300 ns)",
+			Workloads: stampFactories(),
+			Engines:   PaperEngines,
+			Threads:   DefaultThreads,
+			Latency:   300 * time.Nanosecond,
+		},
+	}
+	for src, dst := range map[string]string{"fig6": "fig22", "fig7": "fig23", "fig8": "fig24"} {
+		f := figs[src]
+		f.ID = dst
+		f.Title = f.Title[:len(f.Title)-len("(300 ns)")] + "(100 ns sensitivity)"
+		f.Latency = 100 * time.Nanosecond
+		figs[dst] = f
+	}
+	return figs
+}
+
+// Cell is one measured point of a figure.
+type Cell struct {
+	Workload   string
+	Engine     string
+	Threads    int
+	Result     Result
+	Normalized float64
+}
+
+// FigureResult holds every measured cell of one figure.
+type FigureResult struct {
+	Figure Figure
+	Cells  []Cell
+}
+
+// RunFigure measures every (workload, engine, thread-count) cell of a figure.
+// opsPerThread scales the run length; spuriousAborts optionally injects zero
+// aborts so the appendix breakdowns have a populated "zero" category.
+func RunFigure(fig Figure, opsPerThread int, seed int64, progress io.Writer) (*FigureResult, error) {
+	out := &FigureResult{Figure: fig}
+	for _, wf := range fig.Workloads {
+		// The normalization baseline: single-thread Non-durable.
+		base, err := Run(NonDurable, wf.New(1), Options{
+			Threads:        1,
+			OpsPerThread:   opsPerThread,
+			PersistLatency: fig.Latency,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, eng := range fig.Engines {
+			for _, threads := range fig.Threads {
+				res, err := Run(eng, wf.New(threads), Options{
+					Threads:        threads,
+					OpsPerThread:   opsPerThread,
+					PersistLatency: fig.Latency,
+					Seed:           seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s / %s / %d threads: %w", wf.Label, eng, threads, err)
+				}
+				cell := Cell{
+					Workload:   wf.Label,
+					Engine:     eng.String(),
+					Threads:    threads,
+					Result:     res,
+					Normalized: res.Throughput / base.Throughput,
+				}
+				out.Cells = append(out.Cells, cell)
+				if progress != nil {
+					fmt.Fprintf(progress, "%-10s %-28s %-18s t=%-3d norm=%.2f (%.0f ops/s)\n",
+						fig.ID, wf.Label, eng, threads, cell.Normalized, res.Throughput)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the figure as one table per workload: one row per thread
+// count, one column per engine, each cell the normalized throughput.
+func (fr *FigureResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", fr.Figure.Title)
+	byWorkload := map[string][]Cell{}
+	for _, c := range fr.Cells {
+		byWorkload[c.Workload] = append(byWorkload[c.Workload], c)
+	}
+	var names []string
+	for name := range byWorkload {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "\n  %s (normalized throughput vs 1-thread Non-durable)\n  %-8s", name, "threads")
+		for _, eng := range fr.Figure.Engines {
+			fmt.Fprintf(w, "%-19s", eng)
+		}
+		fmt.Fprintln(w)
+		for _, t := range fr.Figure.Threads {
+			fmt.Fprintf(w, "  %-8d", t)
+			for _, eng := range fr.Figure.Engines {
+				for _, c := range byWorkload[name] {
+					if c.Threads == t && c.Engine == eng.String() {
+						fmt.Fprintf(w, "%-19.2f", c.Normalized)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteBreakdowns renders, for every cell of the figure, the persistent
+// transaction breakdown (Non-Crafty / Read Only / Redo / Validate / SGL) and
+// the hardware transaction breakdown (commit / conflict / capacity /
+// explicit / zero) — the data behind the appendix's Figures 9–21.
+func (fr *FigureResult) WriteBreakdowns(w io.Writer) {
+	fmt.Fprintf(w, "Transaction breakdowns for %s\n", fr.Figure.Title)
+	for _, c := range fr.Cells {
+		s := c.Result.Stats
+		fmt.Fprintf(w, "  %-28s %-18s t=%-3d persistent[", c.Workload, c.Engine, c.Threads)
+		for o := ptm.Outcome(0); int(o) < ptm.NumOutcomes; o++ {
+			if s.Persistent[o] > 0 {
+				fmt.Fprintf(w, " %s=%d", o, s.Persistent[o])
+			}
+		}
+		fmt.Fprintf(w, " ] htm[ commit=%d", s.HTM.Commits)
+		for cause := htm.CauseConflict; int(cause) < htm.NumCauses; cause++ {
+			if s.HTM.Aborts[cause] > 0 {
+				fmt.Fprintf(w, " %s=%d", cause, s.HTM.Aborts[cause])
+			}
+		}
+		fmt.Fprintln(w, " ]")
+	}
+}
+
+// Table1Row is one row of the paper's Table 1 (average persistent writes per
+// transaction).
+type Table1Row struct {
+	Workload     string
+	WritesPerTxn float64
+}
+
+// RunTable1 measures the average number of persistent writes per transaction
+// for every workload, as in Table 1 of the paper (the figure is a property of
+// the workload, so one engine and thread count suffices).
+func RunTable1(opsPerThread int, seed int64) ([]Table1Row, error) {
+	factories := []WorkloadFactory{
+		bankFactory(bank.HighContention),
+		bankFactory(bank.MediumContention),
+		bankFactory(bank.NoContention),
+		btreeFactory(btree.InsertOnly),
+		btreeFactory(btree.Mixed),
+	}
+	factories = append(factories, stampFactories()...)
+	var rows []Table1Row
+	for _, wf := range factories {
+		res, err := Run(Crafty, wf.New(1), Options{
+			Threads:        1,
+			OpsPerThread:   opsPerThread,
+			PersistLatency: nvm.NoLatency,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", wf.Label, err)
+		}
+		rows = append(rows, Table1Row{Workload: wf.Label, WritesPerTxn: res.Stats.WritesPerTxn()})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: average persistent writes per transaction")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %6.1f\n", r.Workload, r.WritesPerTxn)
+	}
+}

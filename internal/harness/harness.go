@@ -1,0 +1,237 @@
+// Package harness runs the paper's experiments: it instantiates any of the
+// persistent transaction engines over an emulated NVM heap, drives any of the
+// benchmark workloads over it with a configurable number of worker threads,
+// and reports throughput (normalized as in the paper) together with the
+// persistent-transaction and hardware-transaction breakdowns of the appendix
+// figures.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"crafty/internal/core"
+	"crafty/internal/dudetm"
+	"crafty/internal/htm"
+	"crafty/internal/nondurable"
+	"crafty/internal/nvhtm"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/redolog"
+	"crafty/internal/undolog"
+	"crafty/internal/workloads"
+)
+
+// EngineKind identifies one of the persistent transaction designs under test.
+type EngineKind int
+
+// Engine kinds. The first six are the configurations evaluated in the paper;
+// UndoLog and RedoLog are the classic designs from the background section,
+// used by the ablation benchmarks.
+const (
+	NonDurable EngineKind = iota
+	DudeTM
+	NVHTM
+	Crafty
+	CraftyNoValidate
+	CraftyNoRedo
+	UndoLog
+	RedoLog
+)
+
+// PaperEngines are the configurations shown in every throughput figure, in
+// the paper's legend order.
+var PaperEngines = []EngineKind{NonDurable, DudeTM, NVHTM, Crafty, CraftyNoValidate, CraftyNoRedo}
+
+// String returns the engine label used in the paper's figures.
+func (k EngineKind) String() string {
+	switch k {
+	case NonDurable:
+		return "Non-durable"
+	case DudeTM:
+		return "DudeTM"
+	case NVHTM:
+		return "NV-HTM"
+	case Crafty:
+		return "Crafty"
+	case CraftyNoValidate:
+		return "Crafty-NoValidate"
+	case CraftyNoRedo:
+		return "Crafty-NoRedo"
+	case UndoLog:
+		return "UndoLog"
+	case RedoLog:
+		return "RedoLog"
+	default:
+		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// ParseEngine converts an engine label back to its kind.
+func ParseEngine(name string) (EngineKind, error) {
+	for k := NonDurable; k <= RedoLog; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown engine %q", name)
+}
+
+// Options configures one benchmark run.
+type Options struct {
+	// Threads is the number of worker goroutines. Default 1.
+	Threads int
+	// OpsPerThread is how many workload operations each worker executes.
+	// Default 10000.
+	OpsPerThread int
+	// PersistLatency is the emulated NVM drain latency (the paper's main
+	// results use 300 ns; the appendix sensitivity study uses 100 ns).
+	// Default 300 ns; use nvm.NoLatency to disable.
+	PersistLatency time.Duration
+	// SpuriousAbortProb injects "zero" aborts into the emulated HTM.
+	SpuriousAbortProb float64
+	// Seed makes the workload's random choices reproducible.
+	Seed int64
+	// TrackPersistence enables crash injection (slower; off for throughput).
+	TrackPersistence bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.OpsPerThread == 0 {
+		o.OpsPerThread = 10000
+	}
+	if o.PersistLatency == 0 {
+		o.PersistLatency = nvm.DefaultPersistLatency
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Engine     string
+	Workload   string
+	Threads    int
+	Ops        int
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+	Stats      ptm.Stats
+}
+
+// BuildEngine constructs the requested engine over heap. arenaWords sizes the
+// allocation arena for workloads that allocate.
+func BuildEngine(kind EngineKind, heap *nvm.Heap, arenaWords int, htmCfg htm.Config) (ptm.Engine, error) {
+	switch kind {
+	case NonDurable:
+		return nondurable.NewEngine(heap, nondurable.Config{HTM: htmCfg, ArenaWords: arenaWords})
+	case DudeTM:
+		return dudetm.NewEngine(heap, dudetm.Config{HTM: htmCfg, ArenaWords: arenaWords})
+	case NVHTM:
+		return nvhtm.NewEngine(heap, nvhtm.Config{HTM: htmCfg, ArenaWords: arenaWords})
+	case Crafty:
+		return core.NewEngine(heap, core.Config{HTM: htmCfg, ArenaWords: arenaWords})
+	case CraftyNoValidate:
+		return core.NewEngine(heap, core.Config{HTM: htmCfg, ArenaWords: arenaWords, DisableValidate: true})
+	case CraftyNoRedo:
+		return core.NewEngine(heap, core.Config{HTM: htmCfg, ArenaWords: arenaWords, DisableRedo: true})
+	case UndoLog:
+		return undolog.NewEngine(heap, undolog.Config{ArenaWords: arenaWords})
+	case RedoLog:
+		return redolog.NewEngine(heap, redolog.Config{ArenaWords: arenaWords})
+	default:
+		return nil, fmt.Errorf("harness: unknown engine kind %d", kind)
+	}
+}
+
+// Run executes one workload on one engine configuration and returns its
+// measured throughput and statistics.
+func Run(kind EngineKind, wl workloads.Workload, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	req := wl.Requirements()
+
+	// Size the heap for the workload's data plus per-thread engine metadata
+	// (undo/redo logs) and the allocation arena.
+	heapWords := req.HeapWords + req.ArenaWords + (opts.Threads+2)*(1<<18) + 1<<20
+	heap := nvm.NewHeap(nvm.Config{
+		Words:            heapWords,
+		PersistLatency:   opts.PersistLatency,
+		TrackPersistence: opts.TrackPersistence,
+	})
+	htmCfg := htm.Config{SpuriousAbortProb: opts.SpuriousAbortProb}
+	eng, err := BuildEngine(kind, heap, req.ArenaWords, htmCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer eng.Close()
+
+	setupThread := eng.Register()
+	if err := wl.Setup(eng, setupThread); err != nil {
+		return Result{}, fmt.Errorf("harness: setup of %s on %s: %w", wl.Name(), kind, err)
+	}
+	setupStats := eng.Stats()
+
+	threads := make([]ptm.Thread, opts.Threads)
+	threads[0] = setupThread
+	for i := 1; i < opts.Threads; i++ {
+		threads[i] = eng.Register()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		start    = make(chan struct{})
+		runErrMu sync.Mutex
+		runErr   error
+	)
+	for w := 0; w < opts.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*97561))
+			<-start
+			for i := 0; i < opts.OpsPerThread; i++ {
+				if err := wl.Run(w, threads[w], rng); err != nil {
+					runErrMu.Lock()
+					if runErr == nil {
+						runErr = fmt.Errorf("harness: worker %d: %w", w, err)
+					}
+					runErrMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+
+	runtime.GC()
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	if err := wl.Check(heap); err != nil {
+		return Result{}, fmt.Errorf("harness: integrity check after %s on %s: %w", wl.Name(), kind, err)
+	}
+
+	ops := opts.Threads * opts.OpsPerThread
+	stats := eng.Stats()
+	stats.Sub(setupStats) // report only the measured phase, not setup
+	return Result{
+		Engine:     kind.String(),
+		Workload:   wl.Name(),
+		Threads:    opts.Threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Throughput: float64(ops) / elapsed.Seconds(),
+		Stats:      stats,
+	}, nil
+}

@@ -1,0 +1,410 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"crafty/internal/nvm"
+)
+
+func newEngine(t testing.TB, words int, cfg Config) *Engine {
+	t.Helper()
+	h := nvm.NewHeap(nvm.Config{Words: words, PersistLatency: nvm.NoLatency})
+	return NewEngine(h, cfg)
+}
+
+// runUntilCommit retries a transaction until it commits; used by tests whose
+// subject is not the abort behaviour itself.
+func runUntilCommit(t testing.TB, th *Thread, body func(tx *Tx)) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if th.Run(body) == CauseNone {
+			return
+		}
+	}
+	t.Fatal("transaction failed to commit after 10000 attempts")
+}
+
+func TestCommitPublishesWrites(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	cause := th.Run(func(tx *Tx) {
+		tx.Store(10, 7)
+		tx.Store(20, 8)
+	})
+	if cause != CauseNone {
+		t.Fatalf("commit failed: %v", cause)
+	}
+	if e.Heap().Load(10) != 7 || e.Heap().Load(20) != 8 {
+		t.Fatal("committed writes not visible")
+	}
+}
+
+func TestAbortedTransactionPublishesNothing(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	cause := th.Run(func(tx *Tx) {
+		tx.Store(10, 7)
+		tx.Abort()
+	})
+	if cause != CauseExplicit {
+		t.Fatalf("cause = %v, want explicit", cause)
+	}
+	if e.Heap().Load(10) != 0 {
+		t.Fatal("aborted transaction's write became visible")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	runUntilCommit(t, th, func(tx *Tx) {
+		tx.Store(10, 7)
+		if got := tx.Load(10); got != 7 {
+			t.Errorf("Load after Store inside txn = %d, want 7", got)
+		}
+		tx.Store(10, 9)
+		if got := tx.Load(10); got != 9 {
+			t.Errorf("Load after second Store = %d, want 9", got)
+		}
+	})
+	if got := e.Heap().Load(10); got != 9 {
+		t.Fatalf("final value = %d, want 9", got)
+	}
+}
+
+func TestCapacityAbortOnWrites(t *testing.T) {
+	e := newEngine(t, 1<<16, Config{MaxWriteLines: 4})
+	th := e.NewThread(1)
+	cause := th.Run(func(tx *Tx) {
+		for i := 0; i < 5; i++ {
+			tx.Store(nvm.Addr(8+i*nvm.WordsPerLine), 1)
+		}
+	})
+	if cause != CauseCapacity {
+		t.Fatalf("cause = %v, want capacity", cause)
+	}
+	// Writes to the same line do not consume extra capacity.
+	cause = th.Run(func(tx *Tx) {
+		for i := 0; i < 32; i++ {
+			tx.Store(8, uint64(i))
+		}
+	})
+	if cause != CauseNone {
+		t.Fatalf("same-line writes aborted: %v", cause)
+	}
+}
+
+func TestCapacityAbortOnReads(t *testing.T) {
+	e := newEngine(t, 1<<16, Config{MaxReadLines: 4})
+	th := e.NewThread(1)
+	cause := th.Run(func(tx *Tx) {
+		for i := 0; i < 5; i++ {
+			tx.Load(nvm.Addr(8 + i*nvm.WordsPerLine))
+		}
+	})
+	if cause != CauseCapacity {
+		t.Fatalf("cause = %v, want capacity", cause)
+	}
+}
+
+func TestZeroAbortInjection(t *testing.T) {
+	e := newEngine(t, 1024, Config{SpuriousAbortProb: 1.0})
+	th := e.NewThread(1)
+	if cause := th.Run(func(tx *Tx) {}); cause != CauseZero {
+		t.Fatalf("cause = %v, want zero", cause)
+	}
+	s := th.Stats()
+	if s.Aborts[CauseZero] != 1 || s.Commits != 0 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestConflictDetectedOnOverlappingCommits(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	t1 := e.NewThread(1)
+	t2 := e.NewThread(2)
+
+	// t1 reads word 10, then t2 commits a write to it before t1 commits a
+	// write elsewhere; t1 must observe a conflict.
+	cause := t1.Run(func(tx *Tx) {
+		_ = tx.Load(10)
+		if c := t2.Run(func(tx2 *Tx) { tx2.Store(10, 99) }); c != CauseNone {
+			t.Fatalf("t2 commit failed: %v", c)
+		}
+		tx.Store(200, 1)
+	})
+	if cause != CauseConflict {
+		t.Fatalf("cause = %v, want conflict", cause)
+	}
+	if got := e.Heap().Load(200); got != 0 {
+		t.Fatal("conflicting transaction's write became visible")
+	}
+}
+
+func TestFalseSharingWithinLineConflicts(t *testing.T) {
+	// Conflict detection is at cache-line granularity: accesses to different
+	// words of the same line conflict, exactly as on real hardware.
+	e := newEngine(t, 1024, Config{})
+	t1 := e.NewThread(1)
+	t2 := e.NewThread(2)
+	cause := t1.Run(func(tx *Tx) {
+		_ = tx.Load(16) // line 2
+		if c := t2.Run(func(tx2 *Tx) { tx2.Store(17, 5) }); c != CauseNone {
+			t.Fatalf("t2 commit failed: %v", c)
+		}
+		tx.Store(300, 1)
+	})
+	if cause != CauseConflict {
+		t.Fatalf("cause = %v, want conflict (false sharing)", cause)
+	}
+}
+
+func TestDisjointTransactionsDoNotConflict(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	t1 := e.NewThread(1)
+	t2 := e.NewThread(2)
+	cause := t1.Run(func(tx *Tx) {
+		_ = tx.Load(16)
+		tx.Store(16, 1)
+		if c := t2.Run(func(tx2 *Tx) { tx2.Store(64, 5) }); c != CauseNone {
+			t.Fatalf("t2 commit failed: %v", c)
+		}
+	})
+	if cause != CauseNone {
+		t.Fatalf("disjoint transactions conflicted: %v", cause)
+	}
+}
+
+func TestNonTxStoreAbortsConflictingTransaction(t *testing.T) {
+	// Strong isolation: a non-transactional store to a line a transaction has
+	// read must abort the transaction (this is how single-global-lock
+	// acquisition kills in-flight elided transactions).
+	e := newEngine(t, 1024, Config{})
+	t1 := e.NewThread(1)
+	cause := t1.Run(func(tx *Tx) {
+		_ = tx.Load(40)
+		e.NonTxStore(40, 123)
+		tx.Store(500, 1)
+	})
+	if cause != CauseConflict {
+		t.Fatalf("cause = %v, want conflict from non-transactional store", cause)
+	}
+	if got := e.NonTxLoad(40); got != 123 {
+		t.Fatalf("non-transactional store lost: %d", got)
+	}
+}
+
+func TestNonTxCAS(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	if !e.NonTxCAS(33, 0, 1) {
+		t.Fatal("CAS from zero failed")
+	}
+	if e.NonTxCAS(33, 0, 2) {
+		t.Fatal("CAS with stale expected value succeeded")
+	}
+	if got := e.NonTxLoad(33); got != 1 {
+		t.Fatalf("value = %d, want 1", got)
+	}
+}
+
+func TestReadOnlyTransactionCommits(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	e.NonTxStore(10, 42)
+	var got uint64
+	if cause := th.Run(func(tx *Tx) { got = tx.Load(10) }); cause != CauseNone {
+		t.Fatalf("read-only txn aborted: %v", cause)
+	}
+	if got != 42 {
+		t.Fatalf("read %d, want 42", got)
+	}
+	if s := th.Stats(); s.ExplicitCommit != 1 {
+		t.Fatalf("read-only commit not counted: %+v", s)
+	}
+}
+
+func TestNestedTransactionPanics(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nested transaction on the same thread")
+		}
+	}()
+	th.Run(func(tx *Tx) {
+		th.Run(func(tx2 *Tx) {})
+	})
+}
+
+func TestBodyPanicsPropagate(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected body panic to propagate, got %v", r)
+		}
+	}()
+	th.Run(func(tx *Tx) { panic("boom") })
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	th := e.NewThread(1)
+	th.Run(func(tx *Tx) { tx.Store(8, 1) })
+	th.Run(func(tx *Tx) { tx.Abort() })
+	s := th.Stats()
+	if s.Commits != 1 || s.Aborts[CauseExplicit] != 1 || s.Total() != 2 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+	var agg Stats
+	agg.Add(s)
+	agg.Add(s)
+	if agg.Commits != 2 || agg.Total() != 4 {
+		t.Fatalf("Add produced %+v", agg)
+	}
+}
+
+// TestCounterAtomicity hammers a shared counter from several threads; the
+// final value must equal the number of successful commits (lost updates are
+// impossible if commits are truly atomic).
+func TestCounterAtomicity(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	const goroutines = 8
+	const perGoroutine = 3000
+	counterAddr := nvm.Addr(64)
+
+	var wg sync.WaitGroup
+	commitCounts := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := e.NewThread(int64(g))
+			for i := 0; i < perGoroutine; i++ {
+				for {
+					cause := th.Run(func(tx *Tx) {
+						tx.Store(counterAddr, tx.Load(counterAddr)+1)
+					})
+					if cause == CauseNone {
+						commitCounts[g]++
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range commitCounts {
+		total += c
+	}
+	if got := e.Heap().Load(counterAddr); got != uint64(total) {
+		t.Fatalf("counter = %d, want %d (lost or duplicated updates)", got, total)
+	}
+}
+
+// TestSnapshotConsistency checks opacity: a transaction that reads two words
+// kept equal by all writers must never observe them unequal, even in attempts
+// that ultimately abort.
+func TestSnapshotConsistency(t *testing.T) {
+	e := newEngine(t, 1024, Config{})
+	a, b := nvm.Addr(128), nvm.Addr(256) // different cache lines
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		th := e.NewThread(99)
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			th.Run(func(tx *Tx) {
+				tx.Store(a, i)
+				tx.Store(b, i)
+			})
+		}
+	}()
+
+	reader := e.NewThread(1)
+	for i := 0; i < 5000; i++ {
+		reader.Run(func(tx *Tx) {
+			va := tx.Load(a)
+			vb := tx.Load(b)
+			if va != vb {
+				t.Errorf("opacity violated: read %d and %d", va, vb)
+			}
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	writerWG.Wait()
+}
+
+// TestSerializabilityProperty runs randomized increments over a small set of
+// words from several threads and checks the final sums match the committed
+// operation counts exactly.
+func TestSerializabilityProperty(t *testing.T) {
+	prop := func(seed uint32, nWordsRaw uint8) bool {
+		nWords := 1 + int(nWordsRaw)%4
+		e := newEngine(t, 4096, Config{})
+		const goroutines = 4
+		const ops = 300
+		committed := make([][]int, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			committed[g] = make([]int, nWords)
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				th := e.NewThread(int64(seed) + int64(g))
+				for i := 0; i < ops; i++ {
+					w := (i*7 + g) % nWords
+					addr := nvm.Addr(8 + w*nvm.WordsPerLine)
+					for {
+						if th.Run(func(tx *Tx) { tx.Store(addr, tx.Load(addr)+1) }) == CauseNone {
+							committed[g][w]++
+							break
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for w := 0; w < nWords; w++ {
+			want := 0
+			for g := 0; g < goroutines; g++ {
+				want += committed[g][w]
+			}
+			if e.Heap().Load(nvm.Addr(8+w*nvm.WordsPerLine)) != uint64(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortCauseString(t *testing.T) {
+	cases := map[AbortCause]string{
+		CauseNone:     "commit",
+		CauseConflict: "conflict",
+		CauseCapacity: "capacity",
+		CauseExplicit: "explicit",
+		CauseZero:     "zero",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

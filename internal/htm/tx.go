@@ -1,0 +1,240 @@
+package htm
+
+import (
+	"sort"
+
+	"crafty/internal/nvm"
+)
+
+// Tx is the handle a transaction body uses to access memory inside one
+// hardware transaction attempt. It is only valid for the duration of the
+// Thread.Run call that created it.
+type Tx struct {
+	thread *Thread
+	eng    *Engine
+
+	// readVersion is the TL2 snapshot: every line observed must have a
+	// version no newer than this, otherwise the attempt aborts.
+	readVersion uint64
+
+	// readLines records the distinct cache lines read (for commit-time
+	// validation and the capacity bound).
+	readLines map[uint64]struct{}
+
+	// writes buffers the transaction's stores; writeLines tracks the distinct
+	// cache lines written for locking and the capacity bound.
+	writes     map[nvm.Addr]uint64
+	writeOrder []nvm.Addr
+	writeLines map[uint64]struct{}
+
+	// deferred holds stores whose values are computed from the commit
+	// timestamp at commit time (see StoreAtCommit).
+	deferred []deferredStore
+
+	// onCommit callbacks run after a successful commit with the commit
+	// timestamp.
+	onCommit []func(commitTS uint64)
+}
+
+// deferredStore is a write whose value depends on the commit timestamp.
+type deferredStore struct {
+	addr    nvm.Addr
+	compute func(commitTS uint64) uint64
+}
+
+func newTx(t *Thread) *Tx {
+	return &Tx{
+		thread:      t,
+		eng:         t.eng,
+		readVersion: t.eng.globalVersion.Load(),
+		readLines:   make(map[uint64]struct{}, 16),
+		writes:      make(map[nvm.Addr]uint64, 16),
+		writeLines:  make(map[uint64]struct{}, 8),
+	}
+}
+
+// abort unwinds the transaction attempt with the given cause.
+func (tx *Tx) abort(cause AbortCause) {
+	panic(htmAbort{cause: cause})
+}
+
+// Abort explicitly aborts the transaction attempt (the XABORT instruction).
+// It never returns.
+func (tx *Tx) Abort() {
+	tx.abort(CauseExplicit)
+}
+
+// Load returns the value of the word at addr as of the transaction's
+// consistent snapshot, or the value this transaction itself wrote to it.
+// If the snapshot can no longer be guaranteed consistent (another thread
+// committed a conflicting write), the attempt aborts.
+func (tx *Tx) Load(addr nvm.Addr) uint64 {
+	if val, ok := tx.writes[addr]; ok {
+		return val
+	}
+	line := nvm.LineOf(addr)
+	lk := tx.eng.lineLock(line)
+
+	before := lk.Load()
+	if isLocked(before) || versionOf(before) > tx.readVersion {
+		tx.abort(CauseConflict)
+	}
+	val := tx.eng.heap.Load(addr)
+	if lk.Load() != before {
+		tx.abort(CauseConflict)
+	}
+	if _, seen := tx.readLines[line]; !seen {
+		if len(tx.readLines) >= tx.eng.cfg.MaxReadLines {
+			tx.abort(CauseCapacity)
+		}
+		tx.readLines[line] = struct{}{}
+	}
+	return val
+}
+
+// Store buffers a write of val to the word at addr. The write becomes visible
+// to other threads, atomically with the transaction's other writes, only if
+// the attempt commits.
+func (tx *Tx) Store(addr nvm.Addr, val uint64) {
+	line := nvm.LineOf(addr)
+	if _, seen := tx.writeLines[line]; !seen {
+		if len(tx.writeLines) >= tx.eng.cfg.MaxWriteLines {
+			tx.abort(CauseCapacity)
+		}
+		tx.writeLines[line] = struct{}{}
+	}
+	if _, seen := tx.writes[addr]; !seen {
+		tx.writeOrder = append(tx.writeOrder, addr)
+	}
+	tx.writes[addr] = val
+}
+
+// WriteSetSize reports how many distinct words this transaction has written
+// so far. Crafty's thread-unsafe mode uses it to chunk transactions into at
+// most k persistent writes.
+func (tx *Tx) WriteSetSize() int { return len(tx.writes) }
+
+// StoreAtCommit buffers a write to addr whose value is computed, at commit
+// time, from the transaction's commit timestamp (the value this commit
+// publishes into the global version clock). Crafty uses it so that the
+// timestamps in LOGGED/COMMITTED entries and in gLastRedoTS are drawn at the
+// transaction's serialization point, which is what reading RDTSC inside a
+// real hardware transaction approximates: a timestamp obtained earlier in the
+// speculative execution would not be ordered consistently with the
+// transaction's place in the commit order.
+func (tx *Tx) StoreAtCommit(addr nvm.Addr, compute func(commitTS uint64) uint64) {
+	line := nvm.LineOf(addr)
+	if _, seen := tx.writeLines[line]; !seen {
+		if len(tx.writeLines) >= tx.eng.cfg.MaxWriteLines {
+			tx.abort(CauseCapacity)
+		}
+		tx.writeLines[line] = struct{}{}
+	}
+	tx.deferred = append(tx.deferred, deferredStore{addr: addr, compute: compute})
+}
+
+// OnCommit registers a callback to run if and when the transaction commits,
+// receiving the commit timestamp. Callbacks do not run on abort.
+func (tx *Tx) OnCommit(fn func(commitTS uint64)) {
+	tx.onCommit = append(tx.onCommit, fn)
+}
+
+// commit publishes the write set atomically, or aborts with CauseConflict if
+// the read set can no longer be validated against the snapshot.
+func (tx *Tx) commit() {
+	if len(tx.writes) == 0 && len(tx.deferred) == 0 {
+		// Read-only transactions are trivially serializable at their snapshot.
+		tx.thread.flusher.Fence()
+		for _, fn := range tx.onCommit {
+			fn(tx.eng.globalVersion.Load())
+		}
+		return
+	}
+
+	// The commit protocol below publishes the write set over several steps;
+	// QuiesceCommitters relies on this counter to know when all in-flight
+	// publications have landed.
+	tx.eng.activeCommitters.Add(1)
+	defer tx.eng.activeCommitters.Add(-1)
+
+	// Acquire the versioned locks of all written lines in address order to
+	// avoid deadlock between concurrent committers.
+	lines := make([]uint64, 0, len(tx.writeLines))
+	for line := range tx.writeLines {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+
+	locked := make([]uint64, 0, len(lines))
+	unlockAll := func() {
+		for _, line := range locked {
+			lk := tx.eng.lineLock(line)
+			lk.Store(lk.Load() &^ lockBit)
+		}
+	}
+	for _, line := range lines {
+		lk := tx.eng.lineLock(line)
+		acquired := false
+		for spin := 0; spin < tx.eng.cfg.MaxLockSpin; spin++ {
+			cur := lk.Load()
+			if isLocked(cur) {
+				continue
+			}
+			// A line we wrote but never read may have advanced past our
+			// snapshot; that is harmless (blind write). A line we also read
+			// is validated below against the read snapshot.
+			if lk.CompareAndSwap(cur, cur|lockBit) {
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			unlockAll()
+			tx.abort(CauseConflict)
+		}
+		locked = append(locked, line)
+	}
+
+	// Draw the commit timestamp while holding the write locks and before
+	// validating the read set. Holding the locks first gives the ordering
+	// property Crafty's timestamp check relies on: if this transaction's
+	// writes were not visible to some other transaction's validated reads,
+	// that transaction's commit timestamp is smaller than this one's.
+	writeVersion := tx.eng.globalVersion.Add(1)
+
+	// Validate the read set: every line read must still be at a version no
+	// newer than the snapshot and not locked by another committer.
+	for line := range tx.readLines {
+		lk := tx.eng.lineLock(line)
+		cur := lk.Load()
+		if _, ours := tx.writeLines[line]; ours {
+			if versionOf(cur) > tx.readVersion {
+				unlockAll()
+				tx.abort(CauseConflict)
+			}
+			continue
+		}
+		if isLocked(cur) || versionOf(cur) > tx.readVersion {
+			unlockAll()
+			tx.abort(CauseConflict)
+		}
+	}
+
+	// Publish the writes and stamp the written lines with a fresh version.
+	for _, addr := range tx.writeOrder {
+		tx.eng.heap.Store(addr, tx.writes[addr])
+	}
+	for _, d := range tx.deferred {
+		tx.eng.heap.Store(d.addr, d.compute(writeVersion))
+	}
+	for _, line := range lines {
+		tx.eng.lineLock(line).Store(packVersion(writeVersion))
+	}
+
+	// RTM commit has SFENCE semantics: the committing thread's outstanding
+	// cache-line write-backs are complete once the transaction commits.
+	tx.thread.flusher.Fence()
+	for _, fn := range tx.onCommit {
+		fn(writeVersion)
+	}
+}

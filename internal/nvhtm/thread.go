@@ -1,0 +1,258 @@
+package nvhtm
+
+import (
+	"fmt"
+
+	"crafty/internal/alloc"
+	"crafty/internal/htm"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// Thread is one worker's handle onto an NV-HTM/DudeTM engine.
+type Thread struct {
+	eng     *Engine
+	id      int
+	hw      *htm.Thread
+	flusher *nvm.Flusher
+	txAlloc *alloc.TxLog
+
+	// Per-thread persistent redo log region, reused circularly. Each record
+	// is ⟨addr, value⟩; a transaction's records are followed by a
+	// ⟨commitMarker, timestamp⟩ pair.
+	logBase nvm.Addr
+	logCap  int
+	logHead int
+
+	// Per-transaction scratch, reused between transactions.
+	writeAddrs []nvm.Addr
+	writeVals  []uint64
+
+	outcomes   [ptm.NumOutcomes]uint64
+	writes     uint64
+	userAborts uint64
+}
+
+// commitMarker is the reserved address value that terminates a transaction's
+// redo records in the persistent log.
+const commitMarker = ^uint64(0) >> 1
+
+// Stats implements ptm.Thread.
+func (t *Thread) Stats() ptm.Stats {
+	var s ptm.Stats
+	copy(s.Persistent[:], t.outcomes[:])
+	s.HTM = t.hw.Stats()
+	s.Writes = t.writes
+	s.UserAborts = t.userAborts
+	return s
+}
+
+// tx adapts a hardware transaction to ptm.Tx, recording the write set so the
+// redo log can be persisted after the hardware transaction commits.
+type tx struct {
+	th   *Thread
+	hwtx *htm.Tx
+}
+
+func (x *tx) Load(addr nvm.Addr) uint64 { return x.hwtx.Load(addr) }
+
+func (x *tx) Store(addr nvm.Addr, val uint64) {
+	x.hwtx.Store(addr, val)
+	x.th.writeAddrs = append(x.th.writeAddrs, addr)
+	x.th.writeVals = append(x.th.writeVals, val)
+}
+
+func (x *tx) Alloc(words int) nvm.Addr {
+	if x.th.txAlloc == nil {
+		panic("nvhtm: Tx.Alloc requires Config.ArenaWords > 0")
+	}
+	return x.th.txAlloc.Alloc(words)
+}
+
+func (x *tx) Free(addr nvm.Addr) {
+	if x.th.txAlloc == nil {
+		panic("nvhtm: Tx.Free requires Config.ArenaWords > 0")
+	}
+	x.th.txAlloc.Free(addr)
+}
+
+// Atomic implements ptm.Thread.
+func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
+	if t.txAlloc != nil {
+		t.txAlloc.Begin()
+	}
+	for attempt := 0; attempt <= t.eng.cfg.MaxRetries; attempt++ {
+		t.writeAddrs = t.writeAddrs[:0]
+		t.writeVals = t.writeVals[:0]
+		var userErr error
+		var commitTS uint64
+		cause := t.hw.Run(func(hwtx *htm.Tx) {
+			if hwtx.Load(t.eng.sglAddr) != 0 {
+				hwtx.Abort()
+			}
+			x := &tx{th: t, hwtx: hwtx}
+			if err := body(x); err != nil {
+				userErr = err
+				hwtx.Abort()
+			}
+			if len(t.writeAddrs) == 0 {
+				return
+			}
+			if t.eng.cfg.GlobalClockInHTM {
+				// DudeTM: the commit timestamp is a shared counter
+				// incremented inside the hardware transaction, making every
+				// pair of concurrent writing transactions conflict on its
+				// cache line.
+				next := hwtx.Load(t.eng.dudeClockAddr) + 1
+				hwtx.Store(t.eng.dudeClockAddr, next)
+				commitTS = next
+			} else {
+				// NV-HTM: the timestamp is obtained at the commit point
+				// without touching shared memory inside the transaction.
+				hwtx.OnCommit(func(ts uint64) { commitTS = ts })
+			}
+		})
+		if userErr != nil {
+			return t.abandon(userErr)
+		}
+		if cause != htm.CauseNone {
+			if t.txAlloc != nil {
+				t.txAlloc.BeginReplay()
+			}
+			continue
+		}
+		if len(t.writeAddrs) == 0 {
+			t.outcomes[ptm.OutcomeHTM]++
+			if t.txAlloc != nil {
+				t.txAlloc.Commit()
+			}
+			return nil
+		}
+		t.persistAndClose(commitTS, ptm.OutcomeHTM)
+		return nil
+	}
+	return t.runSGL(body)
+}
+
+// persistAndClose writes and persists the transaction's redo log, waits for
+// its turn in timestamp order, durably closes the transaction, and hands it
+// to the background checkpointer.
+func (t *Thread) persistAndClose(commitTS uint64, outcome ptm.Outcome) {
+	t.eng.beginCommit(t.id, commitTS)
+
+	// Persist the redo log entries (flush + drain).
+	records := len(t.writeAddrs)*2 + 2
+	if t.logHead+records > t.logCap {
+		t.logHead = 0
+	}
+	base := t.logBase + nvm.Addr(t.logHead)
+	w := base
+	for i, addr := range t.writeAddrs {
+		t.eng.heap.Store(w, uint64(addr))
+		t.eng.heap.Store(w+1, t.writeVals[i])
+		w += 2
+	}
+	t.flusher.FlushRange(base, len(t.writeAddrs)*2)
+	t.flusher.Drain()
+
+	// NV-HTM's commit fence: the COMMIT marker may only become durable once
+	// every concurrent transaction with an earlier timestamp has closed.
+	t.eng.awaitTurn(t.id, commitTS)
+	t.eng.heap.Store(w, commitMarker)
+	t.eng.heap.Store(w+1, commitTS)
+	t.flusher.FlushRange(w, 2)
+	t.flusher.Drain()
+	t.logHead += records
+	t.eng.endCommit(t.id)
+
+	// Hand the write set to the background checkpointer, which applies it to
+	// the home NVM locations asynchronously in timestamp order.
+	addrs := make([]nvm.Addr, len(t.writeAddrs))
+	copy(addrs, t.writeAddrs)
+	t.eng.queue <- closedTxn{ts: commitTS, addrs: addrs}
+
+	if t.txAlloc != nil {
+		t.txAlloc.Commit()
+	}
+	t.outcomes[outcome]++
+	t.writes += uint64(len(t.writeAddrs))
+}
+
+// runSGL is the single-global-lock fallback.
+func (t *Thread) runSGL(body func(tx ptm.Tx) error) error {
+	for !t.eng.hw.NonTxCAS(t.eng.sglAddr, 0, 1) {
+	}
+	t.eng.hw.QuiesceCommitters()
+	defer t.eng.hw.NonTxStore(t.eng.sglAddr, 0)
+	if t.txAlloc != nil {
+		t.txAlloc.BeginReplay()
+	}
+	t.writeAddrs = t.writeAddrs[:0]
+	t.writeVals = t.writeVals[:0]
+	x := &sglTx{th: t, buf: make(map[nvm.Addr]uint64, 8)}
+	if err := body(x); err != nil {
+		return t.abandon(err)
+	}
+	// Publish the buffered writes now that the body has succeeded.
+	for i, addr := range t.writeAddrs {
+		t.eng.hw.NonTxStore(addr, t.writeVals[i])
+	}
+	if len(t.writeAddrs) == 0 {
+		t.outcomes[ptm.OutcomeSGL]++
+		if t.txAlloc != nil {
+			t.txAlloc.Commit()
+		}
+		return nil
+	}
+	ts := t.eng.hw.TimestampNow()
+	if t.eng.cfg.GlobalClockInHTM {
+		next := t.eng.hw.NonTxLoad(t.eng.dudeClockAddr) + 1
+		t.eng.hw.NonTxStore(t.eng.dudeClockAddr, next)
+		ts = next
+	}
+	t.persistAndClose(ts, ptm.OutcomeSGL)
+	return nil
+}
+
+// sglTx executes under the single global lock, buffering writes so that a
+// body error can still abandon the transaction, while recording the write set
+// for the redo log.
+type sglTx struct {
+	th  *Thread
+	buf map[nvm.Addr]uint64
+}
+
+func (x *sglTx) Load(addr nvm.Addr) uint64 {
+	if v, ok := x.buf[addr]; ok {
+		return v
+	}
+	return x.th.eng.heap.Load(addr)
+}
+
+func (x *sglTx) Store(addr nvm.Addr, val uint64) {
+	x.buf[addr] = val
+	x.th.writeAddrs = append(x.th.writeAddrs, addr)
+	x.th.writeVals = append(x.th.writeVals, val)
+}
+
+func (x *sglTx) Alloc(words int) nvm.Addr {
+	if x.th.txAlloc == nil {
+		panic("nvhtm: Tx.Alloc requires Config.ArenaWords > 0")
+	}
+	return x.th.txAlloc.Alloc(words)
+}
+
+func (x *sglTx) Free(addr nvm.Addr) {
+	if x.th.txAlloc == nil {
+		panic("nvhtm: Tx.Free requires Config.ArenaWords > 0")
+	}
+	x.th.txAlloc.Free(addr)
+}
+
+func (t *Thread) abandon(err error) error {
+	if t.txAlloc != nil {
+		t.txAlloc.Abort()
+	}
+	t.userAborts++
+	return fmt.Errorf("%w: %w", ptm.ErrAborted, err)
+}

@@ -1,0 +1,263 @@
+// Package nvm emulates byte-addressable non-volatile memory (NVM) in DRAM.
+//
+// The emulation follows the methodology of the NV-HTM artifact that the
+// Crafty paper builds on: persistent memory lives in ordinary volatile memory
+// and each drain operation (SFENCE following one or more CLWB cache-line
+// write-backs) busy-waits for a configurable round-trip latency (300 ns by
+// default, 100 ns for the sensitivity study).
+//
+// On top of that timing model, this package optionally tracks *which* words
+// have actually reached the persistence domain, so that crashes can be
+// injected and a recovery observer can inspect the surviving "media" image.
+// The tracked model distinguishes three per-word states:
+//
+//   - clean:    the media image equals the visible (cached) value.
+//   - dirty:    the word was stored but not flushed; on a crash it may or may
+//     not have been evicted to media.
+//   - in-flight: the word was flushed (CLWB issued) but the flush has not yet
+//     been fenced; on a crash it may or may not have completed.
+//
+// A Flush followed by a Drain or Fence on the same Flusher guarantees the
+// word is in media (persisted). Everything else is up to the CrashPolicy,
+// which lets tests act as an adversarial recovery observer, including tearing
+// multi-word log entries (persistence is guaranteed only at word
+// granularity, exactly as the paper assumes in Section 5.2).
+//
+// Addresses are word indices: the heap is an array of 8-byte words, and a
+// cache line holds WordsPerLine consecutive words. All persistent stores in
+// this repository are 8-byte aligned, mirroring the Crafty implementation.
+package nvm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr is the address of an 8-byte word in a Heap. Address arithmetic is in
+// words, not bytes.
+type Addr uint64
+
+// NilAddr is the reserved "null" address. Word 0 of every heap is reserved so
+// that NilAddr never names usable storage.
+const NilAddr Addr = 0
+
+// WordsPerLine is the number of 8-byte words per emulated cache line (64-byte
+// lines, as on the x86 machines the paper evaluates on).
+const WordsPerLine = 8
+
+// LineOf returns the cache-line index containing addr.
+func LineOf(addr Addr) uint64 { return uint64(addr) / WordsPerLine }
+
+// LineBase returns the first word address of the cache line containing addr.
+func LineBase(addr Addr) Addr { return Addr(LineOf(addr) * WordsPerLine) }
+
+// DefaultPersistLatency is the emulated NVM round-trip latency charged at
+// each drain, matching the paper's main configuration.
+const DefaultPersistLatency = 300 * time.Nanosecond
+
+// Config configures an emulated persistent heap.
+type Config struct {
+	// Words is the heap size in 8-byte words. It must be at least
+	// 2*WordsPerLine; word 0 is reserved as NilAddr.
+	Words int
+
+	// PersistLatency is the busy-wait charged by Drain. Zero means
+	// DefaultPersistLatency; use NoLatency to disable the charge entirely
+	// (useful in unit tests).
+	PersistLatency time.Duration
+
+	// TrackPersistence enables the media image and per-word persistence
+	// state needed for crash injection and recovery testing. It adds
+	// bookkeeping overhead, so throughput experiments leave it off.
+	TrackPersistence bool
+}
+
+// NoLatency disables the drain busy-wait when used as Config.PersistLatency.
+const NoLatency = time.Duration(-1)
+
+// wordState values for the tracked persistence model.
+const (
+	wordClean    uint32 = iota // media == visible
+	wordDirty                  // stored, not flushed
+	wordInFlight               // flushed, not yet fenced
+)
+
+// Heap is an emulated persistent memory region.
+//
+// The visible image is what running threads observe (the union of CPU caches
+// and the NVM media); the media image is what survives a crash. Load and
+// Store act on the visible image and are safe for concurrent use. Flush,
+// Drain and Fence are issued through per-thread Flusher handles.
+type Heap struct {
+	cfg     Config
+	latency time.Duration
+
+	visible []atomic.Uint64
+
+	// Persistence tracking (only when cfg.TrackPersistence).
+	trackMu sync.Mutex
+	media   []uint64
+	state   []uint32
+
+	// Region carving.
+	carveMu   sync.Mutex
+	nextCarve Addr
+
+	// Statistics.
+	flushes atomic.Uint64
+	drains  atomic.Uint64
+	fences  atomic.Uint64
+	crashes atomic.Uint64
+}
+
+// NewHeap creates an emulated persistent heap. It panics if cfg.Words is too
+// small, since a misconfigured heap is a programming error rather than a
+// runtime condition.
+func NewHeap(cfg Config) *Heap {
+	if cfg.Words < 2*WordsPerLine {
+		panic(fmt.Sprintf("nvm: heap of %d words is too small (minimum %d)", cfg.Words, 2*WordsPerLine))
+	}
+	latency := cfg.PersistLatency
+	switch {
+	case latency == NoLatency:
+		latency = 0
+	case latency == 0:
+		latency = DefaultPersistLatency
+	}
+	h := &Heap{
+		cfg:       cfg,
+		latency:   latency,
+		visible:   make([]atomic.Uint64, cfg.Words),
+		nextCarve: WordsPerLine, // skip line 0 so NilAddr is never handed out
+	}
+	if cfg.TrackPersistence {
+		h.media = make([]uint64, cfg.Words)
+		h.state = make([]uint32, cfg.Words)
+	}
+	return h
+}
+
+// Words returns the heap size in words.
+func (h *Heap) Words() int { return len(h.visible) }
+
+// PersistLatency returns the emulated drain latency in effect.
+func (h *Heap) PersistLatency() time.Duration { return h.latency }
+
+// Tracking reports whether persistence tracking (and therefore crash
+// injection) is enabled.
+func (h *Heap) Tracking() bool { return h.cfg.TrackPersistence }
+
+// check panics on out-of-range or nil addresses; all callers in this module
+// compute addresses from carved regions, so a bad address is a bug.
+func (h *Heap) check(addr Addr) {
+	if addr == NilAddr || int(addr) >= len(h.visible) {
+		panic(fmt.Sprintf("nvm: address %d out of range [1, %d)", addr, len(h.visible)))
+	}
+}
+
+// Load returns the visible value of the word at addr.
+func (h *Heap) Load(addr Addr) uint64 {
+	h.check(addr)
+	return h.visible[addr].Load()
+}
+
+// Store sets the visible value of the word at addr. The new value does not
+// reach the media image until the word is flushed and fenced, evicted by a
+// crash policy, or the line is persisted by Persist.
+func (h *Heap) Store(addr Addr, val uint64) {
+	h.check(addr)
+	h.visible[addr].Store(val)
+	if h.cfg.TrackPersistence {
+		h.trackMu.Lock()
+		h.state[addr] = wordDirty
+		h.trackMu.Unlock()
+	}
+}
+
+// CompareAndSwap atomically replaces the visible value at addr with new if it
+// currently equals old, reporting whether the swap happened. It is used for
+// non-transactional synchronization words such as the single global lock.
+func (h *Heap) CompareAndSwap(addr Addr, old, new uint64) bool {
+	h.check(addr)
+	ok := h.visible[addr].CompareAndSwap(old, new)
+	if ok && h.cfg.TrackPersistence {
+		h.trackMu.Lock()
+		h.state[addr] = wordDirty
+		h.trackMu.Unlock()
+	}
+	return ok
+}
+
+// Carve reserves a contiguous, cache-line-aligned region of the heap and
+// returns its base address. Carving is how the engines lay out their
+// persistent roots, logs, and allocator arenas; it is not transactional and
+// is expected to happen during initialization.
+func (h *Heap) Carve(words int) (Addr, error) {
+	if words <= 0 {
+		return NilAddr, fmt.Errorf("nvm: cannot carve %d words", words)
+	}
+	h.carveMu.Lock()
+	defer h.carveMu.Unlock()
+	base := h.nextCarve
+	// Round the region up to a whole number of cache lines so that separately
+	// carved regions never share a line (avoids false conflicts between
+	// unrelated engine metadata).
+	lines := (words + WordsPerLine - 1) / WordsPerLine
+	end := base + Addr(lines*WordsPerLine)
+	if int(end) > len(h.visible) {
+		return NilAddr, fmt.Errorf("nvm: heap exhausted: want %d words, %d remain", words, len(h.visible)-int(base))
+	}
+	h.nextCarve = end
+	return base, nil
+}
+
+// MustCarve is like Carve but panics on failure. It is intended for
+// initialization code and tests where exhaustion indicates a configuration
+// bug.
+func (h *Heap) MustCarve(words int) Addr {
+	base, err := h.Carve(words)
+	if err != nil {
+		panic(err)
+	}
+	return base
+}
+
+// CarvedWords reports how many words have been handed out by Carve, including
+// the reserved first line.
+func (h *Heap) CarvedWords() int {
+	h.carveMu.Lock()
+	defer h.carveMu.Unlock()
+	return int(h.nextCarve)
+}
+
+// drainWait charges the emulated NVM round-trip latency. Following the
+// original artifact it busy-waits rather than sleeping, since the latencies
+// involved (hundreds of nanoseconds) are far below scheduler granularity.
+func (h *Heap) drainWait() {
+	if h.latency <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < h.latency {
+	}
+}
+
+// Stats is a snapshot of persist-operation counters.
+type Stats struct {
+	Flushes uint64 // CLWB-equivalent cache-line write-backs issued
+	Drains  uint64 // SFENCE-equivalent drains (each charges PersistLatency)
+	Fences  uint64 // fences with drain semantics but no latency charge (HTM commits)
+	Crashes uint64 // injected crashes
+}
+
+// Stats returns a snapshot of the heap's persist-operation counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Flushes: h.flushes.Load(),
+		Drains:  h.drains.Load(),
+		Fences:  h.fences.Load(),
+		Crashes: h.crashes.Load(),
+	}
+}

@@ -1,0 +1,321 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTrackedHeap(t *testing.T, words int) *Heap {
+	t.Helper()
+	return NewHeap(Config{Words: words, PersistLatency: NoLatency, TrackPersistence: true})
+}
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line uint64
+	}{
+		{0, 0}, {1, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {1023, 127},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%d) = %d, want %d", c.addr, got, c.line)
+		}
+		if got := LineBase(c.addr); got != Addr(c.line*WordsPerLine) {
+			t.Errorf("LineBase(%d) = %d, want %d", c.addr, got, c.line*WordsPerLine)
+		}
+	}
+}
+
+func TestNewHeapRejectsTinyHeap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized heap")
+		}
+	}()
+	NewHeap(Config{Words: 4})
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	h := newTrackedHeap(t, 1024)
+	h.Store(42, 12345)
+	if got := h.Load(42); got != 12345 {
+		t.Fatalf("Load(42) = %d, want 12345", got)
+	}
+	if got := h.Load(43); got != 0 {
+		t.Fatalf("Load(43) = %d, want 0 (untouched word)", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	h := newTrackedHeap(t, 64)
+	for _, addr := range []Addr{NilAddr, 64, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for address %d", addr)
+				}
+			}()
+			h.Load(addr)
+		}()
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	h := newTrackedHeap(t, 64)
+	h.Store(10, 7)
+	if h.CompareAndSwap(10, 8, 9) {
+		t.Fatal("CAS succeeded with wrong expected value")
+	}
+	if !h.CompareAndSwap(10, 7, 9) {
+		t.Fatal("CAS failed with correct expected value")
+	}
+	if got := h.Load(10); got != 9 {
+		t.Fatalf("value after CAS = %d, want 9", got)
+	}
+}
+
+func TestCarveAlignmentAndExhaustion(t *testing.T) {
+	h := newTrackedHeap(t, 16*WordsPerLine)
+	a, err := h.Carve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Carve(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%WordsPerLine != 0 || b%WordsPerLine != 0 {
+		t.Fatalf("carved regions not line aligned: %d, %d", a, b)
+	}
+	if b-a < WordsPerLine {
+		t.Fatalf("regions overlap a cache line: a=%d b=%d", a, b)
+	}
+	if a == NilAddr || b == NilAddr {
+		t.Fatal("carve returned the nil address")
+	}
+	if _, err := h.Carve(1 << 20); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if _, err := h.Carve(0); err == nil {
+		t.Fatal("expected error for zero-size carve")
+	}
+}
+
+func TestUnflushedStoreDoesNotReachMedia(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	h.Store(9, 77)
+	if got := h.MediaLoad(9); got != 0 {
+		t.Fatalf("media contains %d before any flush", got)
+	}
+	h.Crash(PersistNone{})
+	if got := h.Load(9); got != 0 {
+		t.Fatalf("visible value after crash = %d, want 0", got)
+	}
+}
+
+func TestFlushWithoutFenceIsNotGuaranteed(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	f := h.NewFlusher()
+	h.Store(9, 77)
+	f.Flush(9)
+	// Pessimistic crash: the in-flight write-back never completed.
+	h.Crash(PersistNone{})
+	if got := h.Load(9); got != 0 {
+		t.Fatalf("flushed-but-unfenced word persisted under PersistNone: %d", got)
+	}
+}
+
+func TestFlushThenDrainPersists(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	f := h.NewFlusher()
+	h.Store(9, 77)
+	h.Store(10, 88) // same cache line
+	f.Flush(9)
+	f.Drain()
+	h.Crash(PersistNone{})
+	if got := h.Load(9); got != 77 {
+		t.Fatalf("drained word lost: got %d, want 77", got)
+	}
+	if got := h.Load(10); got != 88 {
+		t.Fatalf("drained word on same line lost: got %d, want 88", got)
+	}
+}
+
+func TestFenceProvidesDrainSemantics(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	f := h.NewFlusher()
+	h.Store(9, 77)
+	f.Flush(9)
+	f.Fence()
+	h.Crash(PersistNone{})
+	if got := h.Load(9); got != 77 {
+		t.Fatalf("fenced word lost: got %d, want 77", got)
+	}
+}
+
+func TestFenceOnlyCompletesOwnFlushes(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	fa := h.NewFlusher()
+	fb := h.NewFlusher()
+	h.Store(9, 77)
+	fa.Flush(9)
+	fb.Fence() // another thread's fence must not complete fa's flush
+	h.Crash(PersistNone{})
+	if got := h.Load(9); got != 0 {
+		t.Fatalf("another thread's fence persisted the word: %d", got)
+	}
+}
+
+func TestCrashPersistAllKeepsEverything(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	for addr := Addr(8); addr < 40; addr++ {
+		h.Store(addr, uint64(addr)*3)
+	}
+	h.Crash(PersistAll{})
+	for addr := Addr(8); addr < 40; addr++ {
+		if got := h.Load(addr); got != uint64(addr)*3 {
+			t.Fatalf("addr %d = %d after PersistAll crash, want %d", addr, got, addr*3)
+		}
+	}
+}
+
+func TestFlushRangeCoversAllLines(t *testing.T) {
+	h := newTrackedHeap(t, 1024)
+	f := h.NewFlusher()
+	base := Addr(16)
+	n := 40 // spans 6 lines
+	for i := 0; i < n; i++ {
+		h.Store(base+Addr(i), uint64(i)+1)
+	}
+	f.FlushRange(base, n)
+	f.Drain()
+	h.Crash(PersistNone{})
+	for i := 0; i < n; i++ {
+		if got := h.Load(base + Addr(i)); got != uint64(i)+1 {
+			t.Fatalf("word %d of range lost after flush+drain: got %d", i, got)
+		}
+	}
+}
+
+func TestRandomPolicyTearsEntries(t *testing.T) {
+	// Under a random policy some words of a multi-word record persist and
+	// others do not; the recovery logic must cope, so the emulation must be
+	// able to produce the situation at all.
+	h := newTrackedHeap(t, 4096)
+	for addr := Addr(8); addr < 2048; addr += 2 {
+		h.Store(addr, 1)
+		h.Store(addr+1, 1)
+	}
+	h.Crash(NewRandomPolicy(1, 0.5))
+	torn := 0
+	for addr := Addr(8); addr < 2048; addr += 2 {
+		a, b := h.Load(addr), h.Load(addr+1)
+		if a != b {
+			torn++
+		}
+	}
+	if torn == 0 {
+		t.Fatal("random crash policy never tore a two-word record; adversary too weak")
+	}
+}
+
+func TestCrashResetsStateForNextRun(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	f := h.NewFlusher()
+	h.Store(9, 1)
+	h.Crash(PersistNone{})
+	// After the crash the word is clean again: a fresh store + persist works.
+	h.Store(9, 2)
+	f.Flush(9)
+	f.Drain()
+	h.Crash(PersistNone{})
+	if got := h.Load(9); got != 2 {
+		t.Fatalf("post-crash store lost: got %d, want 2", got)
+	}
+}
+
+func TestDrainChargesLatency(t *testing.T) {
+	h := NewHeap(Config{Words: 256, PersistLatency: 200 * time.Microsecond})
+	f := h.NewFlusher()
+	start := time.Now()
+	f.Drain()
+	if elapsed := time.Since(start); elapsed < 150*time.Microsecond {
+		t.Fatalf("drain returned after %s, want >= ~200µs busy wait", elapsed)
+	}
+	if h.Stats().Drains != 1 {
+		t.Fatalf("drain counter = %d, want 1", h.Stats().Drains)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	h := newTrackedHeap(t, 256)
+	f := h.NewFlusher()
+	h.Store(8, 1)
+	f.Flush(8)
+	f.Fence()
+	f.Drain()
+	h.Crash(PersistNone{})
+	s := h.Stats()
+	if s.Flushes != 1 || s.Fences != 1 || s.Drains != 1 || s.Crashes != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestConcurrentStoresAreAtomicPerWord(t *testing.T) {
+	h := NewHeap(Config{Words: 1024, PersistLatency: NoLatency})
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			val := uint64(g+1) * 0x0101010101010101
+			for i := 0; i < iters; i++ {
+				h.Store(100, val)
+				got := h.Load(100)
+				// The value must always be one of the values some goroutine
+				// writes — never a torn mixture.
+				if got%0x0101010101010101 != 0 || got == 0 || got > goroutines*0x0101010101010101 {
+					t.Errorf("torn read: %#x", got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPersistedValueMatchesVisibleProperty(t *testing.T) {
+	// Property: for any sequence of (addr, value) stores followed by a flush
+	// of every touched line and a drain, a PersistNone crash preserves every
+	// final visible value.
+	prop := func(raw []uint16) bool {
+		h := NewHeap(Config{Words: 4096, PersistLatency: NoLatency, TrackPersistence: true})
+		f := h.NewFlusher()
+		want := make(map[Addr]uint64)
+		for i, r := range raw {
+			addr := Addr(8 + int(r)%4000)
+			val := uint64(i + 1)
+			h.Store(addr, val)
+			want[addr] = val
+		}
+		for addr := range want {
+			f.Flush(addr)
+		}
+		f.Drain()
+		h.Crash(PersistNone{})
+		for addr, val := range want {
+			if h.Load(addr) != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

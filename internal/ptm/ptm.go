@@ -1,0 +1,109 @@
+// Package ptm defines the persistent transactional memory (PTM) interface
+// shared by Crafty and every baseline engine in this repository, together
+// with the statistics the evaluation reports.
+//
+// A PTM engine provides persistent transactions: blocks of word-granularity
+// reads and writes to an emulated NVM heap that are failure atomic (after a
+// crash, recovery observes each transaction's effects entirely or not at
+// all) and — for engines running in thread-safe mode — atomic with respect to
+// other threads.
+//
+// Workloads and the benchmark harness program exclusively against this
+// interface, so every experiment can be run unchanged over Crafty, its
+// ablation variants, NV-HTM, DudeTM, the non-durable baseline, and the
+// classic undo/redo logging designs.
+package ptm
+
+import (
+	"errors"
+
+	"crafty/internal/nvm"
+)
+
+// Tx is the access handle a transaction body uses. All addresses are word
+// addresses into the engine's heap.
+//
+// Bodies must be written so that they can be re-executed: engines may run the
+// body several times (Crafty's Log and Validate phases execute it at least
+// twice for contended transactions), so bodies must not mutate volatile
+// program state in a non-idempotent way and must perform all persistent
+// accesses through the Tx (the paper's "transactional data race freedom" and
+// idempotence requirements, Section 6).
+type Tx interface {
+	// Load returns the current value of the persistent word at addr.
+	Load(addr nvm.Addr) uint64
+
+	// Store writes val to the persistent word at addr.
+	Store(addr nvm.Addr, val uint64)
+
+	// Alloc allocates a block of the given number of words from the engine's
+	// persistent arena and returns its base address. Allocations made by
+	// transaction attempts that do not commit are released; allocations made
+	// by the Log phase are reused when Crafty's Validate phase re-executes
+	// the body (Section 6, "Memory management"). Alloc panics if the arena
+	// is exhausted, which indicates a mis-sized experiment rather than a
+	// recoverable condition.
+	Alloc(words int) nvm.Addr
+
+	// Free returns a block previously returned by Alloc to the arena. The
+	// release is deferred until the transaction commits.
+	Free(addr nvm.Addr)
+}
+
+// ErrAborted is returned by Thread.Atomic when the user's body requested the
+// transaction be abandoned by returning an error; the returned error wraps
+// ErrAborted.
+var ErrAborted = errors.New("ptm: transaction aborted by body")
+
+// Thread is one worker's handle onto an engine. Threads are not safe for
+// concurrent use; each worker goroutine registers its own.
+type Thread interface {
+	// Atomic executes body as one persistent transaction. If body returns a
+	// non-nil error the transaction is abandoned without publishing any
+	// writes and Atomic returns an error wrapping both ErrAborted and the
+	// body's error. Otherwise Atomic returns nil once the transaction has
+	// committed (its writes are visible to other threads and its log state
+	// satisfies the engine's durability contract).
+	Atomic(body func(tx Tx) error) error
+
+	// Stats returns this thread's outcome counters.
+	Stats() Stats
+}
+
+// Engine is a persistent transaction engine bound to one heap.
+type Engine interface {
+	// Name identifies the engine in reports ("Crafty", "NV-HTM", ...).
+	Name() string
+
+	// Register creates a worker thread handle. Register is safe to call
+	// concurrently.
+	Register() Thread
+
+	// Heap returns the persistent heap the engine manages.
+	Heap() *nvm.Heap
+
+	// Stats aggregates outcome counters across all registered threads plus
+	// any engine-internal helper threads.
+	Stats() Stats
+
+	// Close releases engine resources (background threads, ...). The engine
+	// must not be used after Close.
+	Close() error
+}
+
+// Recoverer is implemented by engines that support post-crash recovery of
+// their heap (Crafty and the classic logging engines). Recover must be called
+// on a freshly constructed engine over the surviving heap image before any
+// transactions execute.
+type Recoverer interface {
+	Recover() (RecoveryReport, error)
+}
+
+// RecoveryReport summarizes what a recovery pass did.
+type RecoveryReport struct {
+	ThreadsScanned    int    // per-thread logs examined
+	SequencesFound    int    // fully persisted sequences discovered
+	SequencesRolledBack int  // sequences whose writes were undone
+	WordsRestored     int    // individual words rewritten from undo entries
+	MaxTimestamp      uint64 // highest timestamp observed in any log
+}

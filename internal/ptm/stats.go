@@ -1,0 +1,140 @@
+package ptm
+
+import (
+	"fmt"
+	"strings"
+
+	"crafty/internal/htm"
+)
+
+// Outcome classifies how a persistent transaction completed. The categories
+// match the persistent-transaction breakdowns in the paper's appendix
+// (Figures 9–21).
+type Outcome uint8
+
+// Persistent transaction outcomes.
+const (
+	// OutcomeHTM is a transaction completed with a plain hardware transaction
+	// by a non-Crafty engine (labelled "Non-Crafty" in the paper's figures).
+	OutcomeHTM Outcome = iota
+	// OutcomeReadOnly is a Crafty transaction that performed no persistent
+	// writes and therefore skipped the Redo and Validate phases.
+	OutcomeReadOnly
+	// OutcomeRedo is a Crafty transaction whose writes were committed by the
+	// Redo phase.
+	OutcomeRedo
+	// OutcomeValidate is a Crafty transaction whose writes were committed by
+	// the Validate phase after the Redo phase's timestamp check failed.
+	OutcomeValidate
+	// OutcomeSGL is a transaction completed under the single-global-lock
+	// fallback.
+	OutcomeSGL
+	numOutcomes
+)
+
+// NumOutcomes is the number of distinct persistent transaction outcomes.
+const NumOutcomes = int(numOutcomes)
+
+// String returns the label used in reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHTM:
+		return "Non-Crafty"
+	case OutcomeReadOnly:
+		return "Read Only"
+	case OutcomeRedo:
+		return "Redo"
+	case OutcomeValidate:
+		return "Validate"
+	case OutcomeSGL:
+		return "SGL"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Stats aggregates the counters the evaluation reports: how persistent
+// transactions completed, how the underlying hardware transactions fared, and
+// the write volume used to compute Table 1 (writes per transaction).
+type Stats struct {
+	// Persistent counts committed persistent transactions by outcome.
+	Persistent [NumOutcomes]uint64
+
+	// HTM counts hardware transaction commits and aborts by cause, including
+	// the extra hardware transactions Crafty's phases execute.
+	HTM htm.Stats
+
+	// Writes counts persistent writes performed by committed transactions
+	// (each word written counts once per transaction).
+	Writes uint64
+
+	// UserAborts counts transactions abandoned because the body returned an
+	// error.
+	UserAborts uint64
+}
+
+// Txns returns the total number of committed persistent transactions.
+func (s Stats) Txns() uint64 {
+	var n uint64
+	for _, c := range s.Persistent {
+		n += c
+	}
+	return n
+}
+
+// WritesPerTxn returns the average number of persistent writes per committed
+// transaction (Table 1 in the paper).
+func (s Stats) WritesPerTxn() float64 {
+	txns := s.Txns()
+	if txns == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(txns)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	for i := range s.Persistent {
+		s.Persistent[i] += other.Persistent[i]
+	}
+	s.HTM.Add(other.HTM)
+	s.Writes += other.Writes
+	s.UserAborts += other.UserAborts
+}
+
+// Sub subtracts an earlier snapshot from s, yielding the counters accumulated
+// since that snapshot (the harness uses it to exclude workload setup from the
+// measured statistics).
+func (s *Stats) Sub(earlier Stats) {
+	for i := range s.Persistent {
+		s.Persistent[i] -= earlier.Persistent[i]
+	}
+	s.HTM.Commits -= earlier.HTM.Commits
+	s.HTM.ExplicitCommit -= earlier.HTM.ExplicitCommit
+	for i := range s.HTM.Aborts {
+		s.HTM.Aborts[i] -= earlier.HTM.Aborts[i]
+	}
+	s.Writes -= earlier.Writes
+	s.UserAborts -= earlier.UserAborts
+}
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txns=%d writes/txn=%.1f outcomes[", s.Txns(), s.WritesPerTxn())
+	for o := Outcome(0); int(o) < NumOutcomes; o++ {
+		if s.Persistent[o] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", o, s.Persistent[o])
+	}
+	fmt.Fprintf(&b, " ] htm[commit=%d", s.HTM.Commits)
+	for c := htm.CauseConflict; int(c) < htm.NumCauses; c++ {
+		if s.HTM.Aborts[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", c, s.HTM.Aborts[c])
+	}
+	b.WriteString(" ]")
+	return b.String()
+}

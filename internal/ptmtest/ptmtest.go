@@ -1,0 +1,259 @@
+// Package ptmtest provides a reusable conformance suite that every persistent
+// transaction engine in this repository (Crafty, its variants, and all
+// baselines) must pass: basic read/write visibility, user aborts,
+// multi-threaded atomicity (no lost updates, conserved bank balances), and
+// allocation hygiene. Engine packages call Run from their tests.
+package ptmtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// Factory builds a fresh engine over the given heap. The engine must support
+// Tx.Alloc (configure a non-zero arena).
+type Factory func(heap *nvm.Heap) (ptm.Engine, error)
+
+// Run executes the full conformance suite against engines built by factory.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("ReadWriteVisibility", func(t *testing.T) { testReadWrite(t, factory) })
+	t.Run("ReadYourOwnWrites", func(t *testing.T) { testReadOwnWrites(t, factory) })
+	t.Run("UserAbort", func(t *testing.T) { testUserAbort(t, factory) })
+	t.Run("SequentialCounter", func(t *testing.T) { testSequentialCounter(t, factory) })
+	t.Run("NoLostUpdates", func(t *testing.T) { testNoLostUpdates(t, factory) })
+	t.Run("BankConservation", func(t *testing.T) { testBankConservation(t, factory) })
+	t.Run("AllocLifecycle", func(t *testing.T) { testAlloc(t, factory) })
+	t.Run("StatsCount", func(t *testing.T) { testStats(t, factory) })
+}
+
+func newHeap(t *testing.T) *nvm.Heap {
+	t.Helper()
+	return nvm.NewHeap(nvm.Config{Words: 1 << 20, PersistLatency: nvm.NoLatency})
+}
+
+func build(t *testing.T, factory Factory) (ptm.Engine, *nvm.Heap) {
+	t.Helper()
+	heap := newHeap(t)
+	eng, err := factory(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng, heap
+}
+
+func testReadWrite(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(16)
+	th := eng.Register()
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, 11)
+		tx.Store(data+8, 22)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var a, b uint64
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		a, b = tx.Load(data), tx.Load(data+8)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a != 11 || b != 22 {
+		t.Fatalf("read back %d, %d; want 11, 22", a, b)
+	}
+}
+
+func testReadOwnWrites(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, 5)
+		if got := tx.Load(data); got != 5 {
+			return fmt.Errorf("read own write: got %d", got)
+		}
+		tx.Store(data, tx.Load(data)+1)
+		if got := tx.Load(data); got != 6 {
+			return fmt.Errorf("read second write: got %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := heap.Load(data); got != 6 {
+		t.Fatalf("final value %d, want 6", got)
+	}
+}
+
+func testUserAbort(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	boom := errors.New("boom")
+	err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, 99)
+		return boom
+	})
+	if !errors.Is(err, ptm.ErrAborted) || !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap ErrAborted and the body error", err)
+	}
+	var got uint64
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		got = tx.Load(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("aborted write visible: %d", got)
+	}
+}
+
+func testSequentialCounter(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			tx.Store(data, tx.Load(data)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got uint64
+	th.Atomic(func(tx ptm.Tx) error { got = tx.Load(data); return nil })
+	if got != n {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+}
+
+func testNoLostUpdates(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	shared := heap.MustCarve(8)
+	const goroutines = 4
+	const perThread = 250
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := eng.Register()
+			for i := 0; i < perThread; i++ {
+				if err := th.Atomic(func(tx ptm.Tx) error {
+					tx.Store(shared, tx.Load(shared)+1)
+					return nil
+				}); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("thread %d: %v", g, err)
+		}
+	}
+	if got := heap.Load(shared); got != goroutines*perThread {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, goroutines*perThread)
+	}
+}
+
+func testBankConservation(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	const accounts = 8
+	const initial = 1000
+	base := heap.MustCarve(accounts * nvm.WordsPerLine)
+	addrOf := func(i int) nvm.Addr { return base + nvm.Addr(i*nvm.WordsPerLine) }
+	for i := 0; i < accounts; i++ {
+		heap.Store(addrOf(i), initial)
+	}
+	const goroutines = 4
+	const transfers = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := eng.Register()
+			for i := 0; i < transfers; i++ {
+				from := (g + i) % accounts
+				to := (from + 1 + i%3) % accounts
+				_ = th.Atomic(func(tx ptm.Tx) error {
+					amt := uint64(1 + i%4)
+					tx.Store(addrOf(from), tx.Load(addrOf(from))-amt)
+					tx.Store(addrOf(to), tx.Load(addrOf(to))+amt)
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += heap.Load(addrOf(i))
+	}
+	if total != accounts*initial {
+		t.Fatalf("total balance %d, want %d", total, accounts*initial)
+	}
+}
+
+func testAlloc(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	root := heap.MustCarve(8)
+	th := eng.Register()
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		node := tx.Alloc(4)
+		tx.Store(node, 777)
+		tx.Store(root, uint64(node))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	node := nvm.Addr(heap.Load(root))
+	if node == nvm.NilAddr || heap.Load(node) != 777 {
+		t.Fatalf("allocation not visible: node=%d", node)
+	}
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Free(nvm.Addr(tx.Load(root)))
+		tx.Store(root, 0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testStats(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			tx.Store(data, uint64(i))
+			tx.Store(data+1, uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := eng.Stats()
+	if s.Txns() != n {
+		t.Fatalf("stats count %d transactions, want %d", s.Txns(), n)
+	}
+	if s.WritesPerTxn() != 2 {
+		t.Fatalf("writes per txn = %v, want 2", s.WritesPerTxn())
+	}
+}

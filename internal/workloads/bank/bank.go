@@ -1,0 +1,184 @@
+// Package bank implements the bank microbenchmark from the NV-HTM artifact
+// used in the Crafty paper's evaluation (Figure 6): each transaction performs
+// five random transfers (ten persistent writes) between cache-line-aligned
+// accounts. Contention is controlled by the number of accounts — 1,024 for
+// the high-contention configuration, 4,096 for medium — or eliminated
+// entirely by partitioning the accounts among threads (the no-conflict
+// configuration).
+package bank
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// Contention selects the benchmark configuration.
+type Contention int
+
+// Contention levels, matching Figure 6.
+const (
+	HighContention   Contention = iota // 1,024 shared accounts
+	MediumContention                   // 4,096 shared accounts
+	NoContention                       // accounts partitioned among threads
+)
+
+// String returns the label used in reports.
+func (c Contention) String() string {
+	switch c {
+	case HighContention:
+		return "high"
+	case MediumContention:
+		return "medium"
+	default:
+		return "none"
+	}
+}
+
+// Config configures the bank workload.
+type Config struct {
+	// Contention selects the account count / partitioning.
+	Contention Contention
+	// TransfersPerTxn is the number of transfers per transaction (default 5,
+	// i.e. ten persistent writes, as in the paper).
+	TransfersPerTxn int
+	// Threads is the number of worker threads (needed to partition accounts
+	// in the no-contention configuration).
+	Threads int
+	// InitialBalance is each account's starting balance. Default 1000.
+	InitialBalance uint64
+}
+
+// Bank is the workload instance.
+type Bank struct {
+	cfg      Config
+	accounts int
+	base     nvm.Addr
+	total    uint64
+
+	mu        sync.Mutex
+	setupDone bool
+}
+
+// New creates a bank workload.
+func New(cfg Config) *Bank {
+	if cfg.TransfersPerTxn == 0 {
+		cfg.TransfersPerTxn = 5
+	}
+	if cfg.InitialBalance == 0 {
+		cfg.InitialBalance = 1000
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	accounts := 1024
+	switch cfg.Contention {
+	case MediumContention:
+		accounts = 4096
+	case NoContention:
+		// 256 private accounts per thread.
+		accounts = 256 * cfg.Threads
+	}
+	return &Bank{cfg: cfg, accounts: accounts}
+}
+
+// Name implements workloads.Workload.
+func (b *Bank) Name() string {
+	return fmt.Sprintf("bank (%s contention)", b.cfg.Contention)
+}
+
+// Requirements implements workloads.Workload.
+func (b *Bank) Requirements() workloads.Requirements {
+	return workloads.Requirements{HeapWords: b.accounts*nvm.WordsPerLine + 1<<16}
+}
+
+// addrOf returns the address of account i; accounts are cache-line aligned so
+// that different accounts never share a line (as in the original benchmark).
+func (b *Bank) addrOf(i int) nvm.Addr {
+	return b.base + nvm.Addr(i*nvm.WordsPerLine)
+}
+
+// Setup implements workloads.Workload.
+func (b *Bank) Setup(eng ptm.Engine, th ptm.Thread) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.setupDone {
+		return nil
+	}
+	base, err := eng.Heap().Carve(b.accounts * nvm.WordsPerLine)
+	if err != nil {
+		return err
+	}
+	b.base = base
+	b.total = uint64(b.accounts) * b.cfg.InitialBalance
+	// Seed the balances in batches of persistent transactions so the initial
+	// state is itself crash consistent.
+	const batch = 64
+	for start := 0; start < b.accounts; start += batch {
+		end := start + batch
+		if end > b.accounts {
+			end = b.accounts
+		}
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			for i := start; i < end; i++ {
+				tx.Store(b.addrOf(i), b.cfg.InitialBalance)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	b.setupDone = true
+	return nil
+}
+
+// Run implements workloads.Workload: one transaction of five transfers.
+func (b *Bank) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	lo, hi := 0, b.accounts
+	if b.cfg.Contention == NoContention {
+		// Each worker owns a private partition of 256 accounts, so
+		// transactions never conflict.
+		lo = (worker % b.cfg.Threads) * 256
+		hi = lo + 256
+	}
+	span := hi - lo
+	// The transfers are chosen before the transaction body runs: engines may
+	// re-execute the body (Crafty's Validate phase), so it must be
+	// idempotent with respect to volatile state such as the random stream.
+	type transfer struct {
+		from, to int
+		amount   uint64
+	}
+	transfers := make([]transfer, b.cfg.TransfersPerTxn)
+	for i := range transfers {
+		from := lo + rng.Intn(span)
+		to := lo + rng.Intn(span)
+		if from == to {
+			to = lo + (to-lo+1)%span
+		}
+		transfers[i] = transfer{from: from, to: to, amount: uint64(1 + rng.Intn(10))}
+	}
+	return th.Atomic(func(tx ptm.Tx) error {
+		for _, tr := range transfers {
+			tx.Store(b.addrOf(tr.from), tx.Load(b.addrOf(tr.from))-tr.amount)
+			tx.Store(b.addrOf(tr.to), tx.Load(b.addrOf(tr.to))+tr.amount)
+		}
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: money is conserved.
+func (b *Bank) Check(heap *nvm.Heap) error {
+	var total uint64
+	for i := 0; i < b.accounts; i++ {
+		total += heap.Load(b.addrOf(i))
+	}
+	if total != b.total {
+		return fmt.Errorf("bank: total balance %d, want %d (atomicity violated)", total, b.total)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package bank
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crafty/internal/core"
+	"crafty/internal/nvm"
+	"crafty/internal/workloads"
+)
+
+func TestContentionLevelsSizeAccounts(t *testing.T) {
+	if got := New(Config{Contention: HighContention}).accounts; got != 1024 {
+		t.Fatalf("high contention accounts = %d, want 1024", got)
+	}
+	if got := New(Config{Contention: MediumContention}).accounts; got != 4096 {
+		t.Fatalf("medium contention accounts = %d, want 4096", got)
+	}
+	if got := New(Config{Contention: NoContention, Threads: 4}).accounts; got != 1024 {
+		t.Fatalf("partitioned accounts = %d, want 4*256", got)
+	}
+}
+
+func TestRunPreservesTotalBalance(t *testing.T) {
+	for _, contention := range []Contention{HighContention, NoContention} {
+		contention := contention
+		t.Run(contention.String(), func(t *testing.T) {
+			const threads = 4
+			wl := New(Config{Contention: contention, Threads: threads})
+			req := wl.Requirements()
+			heap := nvm.NewHeap(nvm.Config{Words: req.HeapWords + threads*(1<<18), PersistLatency: nvm.NoLatency})
+			eng, err := core.NewEngine(heap, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup := eng.Register()
+			if err := wl.Setup(eng, setup); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := eng.Register()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 300; i++ {
+						if err := wl.Run(w, th, rng); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := wl.Check(heap); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBankImplementsWorkload(t *testing.T) {
+	var _ workloads.Workload = New(Config{})
+	if New(Config{Contention: HighContention}).Name() != "bank (high contention)" {
+		t.Fatal("unexpected workload name")
+	}
+}

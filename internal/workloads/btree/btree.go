@@ -1,0 +1,363 @@
+// Package btree implements the B+ tree microbenchmark from the Crafty
+// evaluation (Figure 7), adapted from Zardoshti et al.'s persistent-memory
+// transaction benchmarks: a B+ tree stored entirely in persistent memory,
+// exercised either with insertions only or with a mix of lookups, insertions,
+// and removals. All node accesses go through the engine's transactional
+// interface, so every node mutation is a persistent write.
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// Tree node layout (in words):
+//
+//	0:            leaf flag (1 = leaf)
+//	1:            number of keys
+//	2..2+cap-1:   keys
+//	next cap+1:   children (interior) or values+next pointer (leaf)
+//
+// A small fanout keeps transactions at the size the paper reports
+// (roughly 13–14 persistent writes per insert, including splits).
+const (
+	fanout       = 8 // max keys per node
+	offLeaf      = 0
+	offNumKeys   = 1
+	offKeys      = 2
+	offChildren  = offKeys + fanout
+	nodeWords    = offChildren + fanout + 1
+	maxTreeDepth = 16
+)
+
+// Mix selects the operation mix of the benchmark.
+type Mix int
+
+// Benchmark variants, matching Figure 7.
+const (
+	InsertOnly Mix = iota // 100% insertions
+	Mixed                 // 60% lookups, 20% insertions, 20% removals
+)
+
+// String returns the label used in reports.
+func (m Mix) String() string {
+	if m == InsertOnly {
+		return "insert only"
+	}
+	return "mixed"
+}
+
+// Config configures the B+ tree workload.
+type Config struct {
+	// Mix selects insert-only or mixed operations.
+	Mix Mix
+	// KeySpace bounds the random keys (default 1 << 20).
+	KeySpace uint64
+	// InitialKeys seeds the tree before measurement (default 4096).
+	InitialKeys int
+	// ArenaWords overrides the allocation arena size.
+	ArenaWords int
+}
+
+// Tree is the workload instance.
+type Tree struct {
+	cfg  Config
+	root nvm.Addr // word holding the root node's address
+
+	mu        sync.Mutex
+	setupDone bool
+}
+
+// New creates a B+ tree workload.
+func New(cfg Config) *Tree {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1 << 20
+	}
+	if cfg.InitialKeys == 0 {
+		cfg.InitialKeys = 4096
+	}
+	if cfg.ArenaWords == 0 {
+		cfg.ArenaWords = 1 << 22
+	}
+	return &Tree{cfg: cfg}
+}
+
+// Name implements workloads.Workload.
+func (t *Tree) Name() string { return fmt.Sprintf("B+ tree (%s)", t.cfg.Mix) }
+
+// Requirements implements workloads.Workload.
+func (t *Tree) Requirements() workloads.Requirements {
+	return workloads.Requirements{
+		HeapWords:  t.cfg.ArenaWords + 1<<18,
+		ArenaWords: t.cfg.ArenaWords,
+	}
+}
+
+// Setup implements workloads.Workload.
+func (t *Tree) Setup(eng ptm.Engine, th ptm.Thread) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.setupDone {
+		return nil
+	}
+	rootWord, err := eng.Heap().Carve(nvm.WordsPerLine)
+	if err != nil {
+		return err
+	}
+	t.root = rootWord
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		leaf := tx.Alloc(nodeWords)
+		tx.Store(leaf+offLeaf, 1)
+		tx.Store(leaf+offNumKeys, 0)
+		tx.Store(t.root, uint64(leaf))
+		return nil
+	}); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < t.cfg.InitialKeys; i++ {
+		key := 1 + rng.Uint64()%t.cfg.KeySpace
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			t.insert(tx, key, key*2)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	t.setupDone = true
+	return nil
+}
+
+// Run implements workloads.Workload.
+func (t *Tree) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	key := 1 + rng.Uint64()%t.cfg.KeySpace
+	op := rng.Intn(100)
+	return th.Atomic(func(tx ptm.Tx) error {
+		switch {
+		case t.cfg.Mix == InsertOnly || op < 20:
+			t.insert(tx, key, key*2)
+		case op < 80:
+			t.lookup(tx, key)
+		default:
+			t.remove(tx, key)
+		}
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: the tree must be well formed (keys in
+// order, leaf counts within bounds).
+func (t *Tree) Check(heap *nvm.Heap) error {
+	root := nvm.Addr(heap.Load(t.root))
+	if root == nvm.NilAddr {
+		return fmt.Errorf("btree: nil root")
+	}
+	_, err := checkNode(heap, root, 0)
+	return err
+}
+
+func checkNode(heap *nvm.Heap, node nvm.Addr, depth int) (int, error) {
+	if depth > maxTreeDepth {
+		return 0, fmt.Errorf("btree: depth exceeds %d (cycle?)", maxTreeDepth)
+	}
+	n := int(heap.Load(node + offNumKeys))
+	if n < 0 || n > fanout {
+		return 0, fmt.Errorf("btree: node %d has %d keys", node, n)
+	}
+	var prev uint64
+	for i := 0; i < n; i++ {
+		k := heap.Load(node + offKeys + nvm.Addr(i))
+		if i > 0 && k <= prev {
+			return 0, fmt.Errorf("btree: node %d keys out of order", node)
+		}
+		prev = k
+	}
+	count := n
+	if heap.Load(node+offLeaf) == 0 {
+		for i := 0; i <= n; i++ {
+			child := nvm.Addr(heap.Load(node + offChildren + nvm.Addr(i)))
+			if child == nvm.NilAddr {
+				return 0, fmt.Errorf("btree: interior node %d has nil child %d", node, i)
+			}
+			c, err := checkNode(heap, child, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			count += c
+		}
+	}
+	return count, nil
+}
+
+// lookup returns the value stored under key, or 0.
+func (t *Tree) lookup(tx ptm.Tx, key uint64) uint64 {
+	node := nvm.Addr(tx.Load(t.root))
+	for depth := 0; depth < maxTreeDepth; depth++ {
+		n := int(tx.Load(node + offNumKeys))
+		if tx.Load(node+offLeaf) == 1 {
+			for i := 0; i < n; i++ {
+				if tx.Load(node+offKeys+nvm.Addr(i)) == key {
+					return tx.Load(node + offChildren + nvm.Addr(i))
+				}
+			}
+			return 0
+		}
+		i := 0
+		for i < n && key >= tx.Load(node+offKeys+nvm.Addr(i)) {
+			i++
+		}
+		node = nvm.Addr(tx.Load(node + offChildren + nvm.Addr(i)))
+	}
+	return 0
+}
+
+// remove deletes key from its leaf (without rebalancing, a standard
+// simplification for benchmark trees); it reports whether the key existed.
+func (t *Tree) remove(tx ptm.Tx, key uint64) bool {
+	node := nvm.Addr(tx.Load(t.root))
+	for depth := 0; depth < maxTreeDepth; depth++ {
+		n := int(tx.Load(node + offNumKeys))
+		if tx.Load(node+offLeaf) == 1 {
+			for i := 0; i < n; i++ {
+				if tx.Load(node+offKeys+nvm.Addr(i)) == key {
+					// Shift the remaining keys and values left.
+					for j := i; j < n-1; j++ {
+						tx.Store(node+offKeys+nvm.Addr(j), tx.Load(node+offKeys+nvm.Addr(j+1)))
+						tx.Store(node+offChildren+nvm.Addr(j), tx.Load(node+offChildren+nvm.Addr(j+1)))
+					}
+					tx.Store(node+offNumKeys, uint64(n-1))
+					return true
+				}
+			}
+			return false
+		}
+		i := 0
+		for i < n && key >= tx.Load(node+offKeys+nvm.Addr(i)) {
+			i++
+		}
+		node = nvm.Addr(tx.Load(node + offChildren + nvm.Addr(i)))
+	}
+	return false
+}
+
+// insert adds key -> value, splitting full nodes top-down so that a single
+// downward pass suffices.
+func (t *Tree) insert(tx ptm.Tx, key, value uint64) {
+	root := nvm.Addr(tx.Load(t.root))
+	if int(tx.Load(root+offNumKeys)) == fanout {
+		// Grow the tree: allocate a new root and split the old one under it.
+		newRoot := tx.Alloc(nodeWords)
+		tx.Store(newRoot+offLeaf, 0)
+		tx.Store(newRoot+offNumKeys, 0)
+		tx.Store(newRoot+offChildren, uint64(root))
+		t.splitChild(tx, newRoot, 0)
+		tx.Store(t.root, uint64(newRoot))
+		root = newRoot
+	}
+	t.insertNonFull(tx, root, key, value, 0)
+}
+
+// splitChild splits the full idx-th child of parent, promoting its median key.
+func (t *Tree) splitChild(tx ptm.Tx, parent nvm.Addr, idx int) {
+	child := nvm.Addr(tx.Load(parent + offChildren + nvm.Addr(idx)))
+	right := tx.Alloc(nodeWords)
+	leaf := tx.Load(child + offLeaf)
+	tx.Store(right+offLeaf, leaf)
+
+	mid := fanout / 2
+	promoted := tx.Load(child + offKeys + nvm.Addr(mid))
+
+	if leaf == 1 {
+		// Leaves keep the median in the right node (B+ tree style).
+		moved := fanout - mid
+		for i := 0; i < moved; i++ {
+			tx.Store(right+offKeys+nvm.Addr(i), tx.Load(child+offKeys+nvm.Addr(mid+i)))
+			tx.Store(right+offChildren+nvm.Addr(i), tx.Load(child+offChildren+nvm.Addr(mid+i)))
+		}
+		tx.Store(right+offNumKeys, uint64(moved))
+		tx.Store(child+offNumKeys, uint64(mid))
+	} else {
+		moved := fanout - mid - 1
+		for i := 0; i < moved; i++ {
+			tx.Store(right+offKeys+nvm.Addr(i), tx.Load(child+offKeys+nvm.Addr(mid+1+i)))
+		}
+		for i := 0; i <= moved; i++ {
+			tx.Store(right+offChildren+nvm.Addr(i), tx.Load(child+offChildren+nvm.Addr(mid+1+i)))
+		}
+		tx.Store(right+offNumKeys, uint64(moved))
+		tx.Store(child+offNumKeys, uint64(mid))
+	}
+
+	// Shift the parent's keys and children right to make room.
+	n := int(tx.Load(parent + offNumKeys))
+	for i := n; i > idx; i-- {
+		tx.Store(parent+offKeys+nvm.Addr(i), tx.Load(parent+offKeys+nvm.Addr(i-1)))
+		tx.Store(parent+offChildren+nvm.Addr(i+1), tx.Load(parent+offChildren+nvm.Addr(i)))
+	}
+	tx.Store(parent+offKeys+nvm.Addr(idx), promoted)
+	tx.Store(parent+offChildren+nvm.Addr(idx+1), uint64(right))
+	tx.Store(parent+offNumKeys, uint64(n+1))
+}
+
+// insertNonFull inserts into a node known not to be full.
+func (t *Tree) insertNonFull(tx ptm.Tx, node nvm.Addr, key, value uint64, depth int) {
+	if depth > maxTreeDepth {
+		panic("btree: insert exceeded maximum depth")
+	}
+	n := int(tx.Load(node + offNumKeys))
+	if tx.Load(node+offLeaf) == 1 {
+		// Update in place if the key exists.
+		for i := 0; i < n; i++ {
+			if tx.Load(node+offKeys+nvm.Addr(i)) == key {
+				tx.Store(node+offChildren+nvm.Addr(i), value)
+				return
+			}
+		}
+		i := n - 1
+		for i >= 0 && tx.Load(node+offKeys+nvm.Addr(i)) > key {
+			tx.Store(node+offKeys+nvm.Addr(i+1), tx.Load(node+offKeys+nvm.Addr(i)))
+			tx.Store(node+offChildren+nvm.Addr(i+1), tx.Load(node+offChildren+nvm.Addr(i)))
+			i--
+		}
+		tx.Store(node+offKeys+nvm.Addr(i+1), key)
+		tx.Store(node+offChildren+nvm.Addr(i+1), value)
+		tx.Store(node+offNumKeys, uint64(n+1))
+		return
+	}
+	i := 0
+	for i < n && key >= tx.Load(node+offKeys+nvm.Addr(i)) {
+		i++
+	}
+	child := nvm.Addr(tx.Load(node + offChildren + nvm.Addr(i)))
+	if int(tx.Load(child+offNumKeys)) == fanout {
+		t.splitChild(tx, node, i)
+		if key >= tx.Load(node+offKeys+nvm.Addr(i)) {
+			i++
+		}
+		child = nvm.Addr(tx.Load(node + offChildren + nvm.Addr(i)))
+	}
+	t.insertNonFull(tx, child, key, value, depth+1)
+}
+
+// Lookup runs a read-only lookup transaction; exposed for examples and tests.
+func (t *Tree) Lookup(th ptm.Thread, key uint64) (uint64, error) {
+	var val uint64
+	err := th.Atomic(func(tx ptm.Tx) error {
+		val = t.lookup(tx, key)
+		return nil
+	})
+	return val, err
+}
+
+// Insert runs an insert transaction; exposed for examples and tests.
+func (t *Tree) Insert(th ptm.Thread, key, value uint64) error {
+	return th.Atomic(func(tx ptm.Tx) error {
+		t.insert(tx, key, value)
+		return nil
+	})
+}

@@ -1,0 +1,134 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"crafty/internal/core"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// newTree builds a tree workload over a fresh Crafty engine for direct
+// structural testing.
+func newTree(t *testing.T, cfg Config) (*Tree, ptm.Thread, *nvm.Heap) {
+	t.Helper()
+	cfg.InitialKeys = 1 // keep Setup cheap; tests insert their own keys
+	if cfg.ArenaWords == 0 {
+		cfg.ArenaWords = 1 << 18
+	}
+	tree := New(cfg)
+	heap := nvm.NewHeap(nvm.Config{Words: tree.Requirements().HeapWords + 1<<18, PersistLatency: nvm.NoLatency})
+	eng, err := core.NewEngine(heap, core.Config{ArenaWords: cfg.ArenaWords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := eng.Register()
+	if err := tree.Setup(eng, th); err != nil {
+		t.Fatal(err)
+	}
+	return tree, th, heap
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	tree, th, heap := newTree(t, Config{Mix: InsertOnly})
+	const n = 2000
+	rng := rand.New(rand.NewSource(1))
+	keys := make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Uint64()%(1<<30)
+		keys[k] = k * 3
+		if err := tree.Insert(th, k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, want := range keys {
+		got, err := tree.Lookup(th, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("lookup(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if err := tree.Check(heap); err != nil {
+		t.Fatalf("tree malformed after inserts: %v", err)
+	}
+}
+
+func TestLookupMissingKeyReturnsZero(t *testing.T) {
+	tree, th, _ := newTree(t, Config{Mix: Mixed})
+	got, err := tree.Lookup(th, 999999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("lookup of absent key returned %d", got)
+	}
+}
+
+func TestInsertUpdatesExistingKey(t *testing.T) {
+	tree, th, _ := newTree(t, Config{Mix: InsertOnly})
+	if err := tree.Insert(th, 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(th, 42, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.Lookup(th, 42)
+	if got != 2 {
+		t.Fatalf("updated key reads %d, want 2", got)
+	}
+}
+
+func TestRemoveThenLookup(t *testing.T) {
+	tree, th, heap := newTree(t, Config{Mix: Mixed})
+	for k := uint64(1); k <= 200; k++ {
+		if err := tree.Insert(th, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove the even keys via Run-style transactions.
+	for k := uint64(2); k <= 200; k += 2 {
+		k := k
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			if !tree.remove(tx, k) {
+				t.Errorf("remove(%d) reported missing key", k)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(1); k <= 200; k++ {
+		got, _ := tree.Lookup(th, k)
+		if k%2 == 0 && got != 0 {
+			t.Fatalf("removed key %d still present (%d)", k, got)
+		}
+		if k%2 == 1 && got != k {
+			t.Fatalf("key %d lost after unrelated removals (got %d)", k, got)
+		}
+	}
+	if err := tree.Check(heap); err != nil {
+		t.Fatalf("tree malformed after removals: %v", err)
+	}
+}
+
+func TestTreeSurvivesSplitsDeep(t *testing.T) {
+	tree, th, heap := newTree(t, Config{Mix: InsertOnly})
+	// Sequential keys force repeated splits along the right spine.
+	for k := uint64(1); k <= 5000; k++ {
+		if err := tree.Insert(th, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Check(heap); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{1, 2500, 5000} {
+		got, _ := tree.Lookup(th, k)
+		if got != k {
+			t.Fatalf("lookup(%d) = %d after splits", k, got)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// Genome models the segment-deduplication phase of the genome benchmark:
+// worker threads insert DNA segments into a shared hash set, discarding
+// duplicates. Transactions are small (Table 1 reports ~2 writes per
+// transaction) with moderate contention on popular hash buckets.
+type Genome struct {
+	Buckets    int
+	BucketCap  int
+	SegmentMax uint64
+
+	once  carveOnce
+	table nvm.Addr // Buckets rows of (1 + BucketCap) words: [count, segments...]
+	rows  int
+}
+
+// NewGenome returns a genome workload.
+func NewGenome() *Genome {
+	return &Genome{Buckets: 1 << 14, BucketCap: 14, SegmentMax: 1 << 22}
+}
+
+// Name implements workloads.Workload.
+func (g *Genome) Name() string { return "genome" }
+
+// Requirements implements workloads.Workload.
+func (g *Genome) Requirements() workloads.Requirements {
+	g.rows = ((1 + g.BucketCap + nvm.WordsPerLine - 1) / nvm.WordsPerLine) * nvm.WordsPerLine
+	return workloads.Requirements{HeapWords: g.Buckets*g.rows + 1<<17}
+}
+
+func (g *Genome) bucket(h uint64) nvm.Addr {
+	return g.table + nvm.Addr(int(h%uint64(g.Buckets))*g.rows)
+}
+
+// Setup implements workloads.Workload.
+func (g *Genome) Setup(eng ptm.Engine, th ptm.Thread) error {
+	if !g.once.begin() {
+		return nil
+	}
+	var err error
+	g.table, err = eng.Heap().Carve(g.Buckets * g.rows)
+	return err
+}
+
+// Run implements workloads.Workload: deduplicate one segment.
+func (g *Genome) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	segment := 1 + rng.Uint64()%g.SegmentMax
+	return th.Atomic(func(tx ptm.Tx) error {
+		row := g.bucket(segment * 0x9e3779b1)
+		count := tx.Load(row)
+		for i := uint64(0); i < count; i++ {
+			if tx.Load(row+1+nvm.Addr(i)) == segment {
+				return nil // duplicate: read-only transaction
+			}
+		}
+		if int(count) >= g.BucketCap {
+			return nil // bucket full; drop the segment
+		}
+		tx.Store(row+1+nvm.Addr(count), segment)
+		tx.Store(row, count+1)
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: bucket counts match populated slots
+// and buckets contain no duplicates.
+func (g *Genome) Check(heap *nvm.Heap) error {
+	for b := 0; b < g.Buckets; b++ {
+		row := g.table + nvm.Addr(b*g.rows)
+		count := heap.Load(row)
+		if int(count) > g.BucketCap {
+			return fmt.Errorf("genome: bucket %d overflow (%d)", b, count)
+		}
+		seen := make(map[uint64]bool, count)
+		for i := uint64(0); i < count; i++ {
+			v := heap.Load(row + 1 + nvm.Addr(i))
+			if v == 0 {
+				return fmt.Errorf("genome: bucket %d slot %d counted but empty", b, i)
+			}
+			if seen[v] {
+				return fmt.Errorf("genome: bucket %d holds duplicate segment %d", b, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}

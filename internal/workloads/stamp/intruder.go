@@ -1,0 +1,105 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// Intruder models the intruder network-intrusion-detection benchmark's
+// transactional core: threads pull packet fragments from a shared queue and
+// insert them into per-flow reassembly state. Transactions are tiny (Table 1
+// reports ~1.8 writes per transaction) but the shared queue head makes
+// contention high, which is the regime where Crafty's extra hardware
+// transactions hurt it in the paper (Figure 8(h)).
+type Intruder struct {
+	Flows        int
+	FragmentsCap int
+
+	once  carveOnce
+	queue nvm.Addr // [head, tail] on one line; consumed counter
+	flows nvm.Addr // Flows rows of (1 + FragmentsCap) words
+	rows  int
+}
+
+// NewIntruder returns an intruder workload.
+func NewIntruder() *Intruder {
+	return &Intruder{Flows: 1 << 10, FragmentsCap: 20}
+}
+
+// Name implements workloads.Workload.
+func (in *Intruder) Name() string { return "intruder" }
+
+// Requirements implements workloads.Workload.
+func (in *Intruder) Requirements() workloads.Requirements {
+	in.rows = ((1 + in.FragmentsCap + nvm.WordsPerLine - 1) / nvm.WordsPerLine) * nvm.WordsPerLine
+	return workloads.Requirements{HeapWords: in.Flows*in.rows + 1<<17}
+}
+
+func (in *Intruder) flowRow(f int) nvm.Addr { return in.flows + nvm.Addr(f*in.rows) }
+
+// Setup implements workloads.Workload.
+func (in *Intruder) Setup(eng ptm.Engine, th ptm.Thread) error {
+	if !in.once.begin() {
+		return nil
+	}
+	heap := eng.Heap()
+	var err error
+	if in.queue, err = heap.Carve(nvm.WordsPerLine); err != nil {
+		return err
+	}
+	in.flows, err = heap.Carve(in.Flows * in.rows)
+	return err
+}
+
+// Run implements workloads.Workload: dequeue one fragment and file it under
+// its flow.
+func (in *Intruder) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	fragment := 1 + rng.Uint64()%(1<<30)
+	return th.Atomic(func(tx ptm.Tx) error {
+		// Claim the next sequence number from the shared queue head — the
+		// benchmark's contention hot spot.
+		seq := tx.Load(in.queue)
+		tx.Store(in.queue, seq+1)
+
+		flow := int(seq % uint64(in.Flows))
+		row := in.flowRow(flow)
+		count := tx.Load(row)
+		if int(count) >= in.FragmentsCap {
+			// Flow complete: reset it for reuse (models handing the
+			// reassembled packet to the detector).
+			tx.Store(row, 0)
+			return nil
+		}
+		tx.Store(row+1+nvm.Addr(count), fragment)
+		tx.Store(row, count+1)
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: every flow's fragment count matches
+// its populated slots and the queue counter is at least the number of stored
+// fragments.
+func (in *Intruder) Check(heap *nvm.Heap) error {
+	var stored uint64
+	for f := 0; f < in.Flows; f++ {
+		row := in.flowRow(f)
+		count := heap.Load(row)
+		if int(count) > in.FragmentsCap {
+			return fmt.Errorf("intruder: flow %d overflow (%d)", f, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			if heap.Load(row+1+nvm.Addr(i)) == 0 {
+				return fmt.Errorf("intruder: flow %d slot %d counted but empty", f, i)
+			}
+		}
+		stored += count
+	}
+	if processed := heap.Load(in.queue); processed < stored {
+		return fmt.Errorf("intruder: %d fragments stored but only %d dequeued", stored, processed)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// KMeans models the kmeans benchmark: each transaction assigns one point to
+// its nearest cluster and updates that cluster's accumulator (one count plus
+// one partial sum per dimension — 25 persistent writes per transaction with
+// the paper's 24-dimensional points, Table 1). Contention is governed by the
+// number of clusters: few clusters (high contention) or many (low).
+type KMeans struct {
+	Clusters int // number of cluster accumulators
+	Dims     int // point dimensionality (24 in the paper's inputs)
+	Points   int // number of points
+
+	once       carveOnce
+	pointsBase nvm.Addr // Points * Dims words, read-only after seeding
+	centers    nvm.Addr // Clusters * (Dims + 1) words, cache-line aligned per cluster
+	perCluster int
+}
+
+// NewKMeans returns a kmeans workload; highContention selects the small
+// cluster count used by the paper's high-contention configuration.
+func NewKMeans(highContention bool) *KMeans {
+	k := &KMeans{Clusters: 64, Dims: 24, Points: 1 << 14}
+	if highContention {
+		k.Clusters = 8
+	}
+	return k
+}
+
+// Name implements workloads.Workload.
+func (k *KMeans) Name() string {
+	if k.Clusters <= 8 {
+		return "kmeans (high contention)"
+	}
+	return "kmeans (low contention)"
+}
+
+// Requirements implements workloads.Workload.
+func (k *KMeans) Requirements() workloads.Requirements {
+	k.perCluster = ((k.Dims + 1 + nvm.WordsPerLine - 1) / nvm.WordsPerLine) * nvm.WordsPerLine
+	return workloads.Requirements{
+		HeapWords: k.Points*k.Dims + k.Clusters*k.perCluster + 1<<17,
+	}
+}
+
+// Setup implements workloads.Workload.
+func (k *KMeans) Setup(eng ptm.Engine, th ptm.Thread) error {
+	if !k.once.begin() {
+		return nil
+	}
+	heap := eng.Heap()
+	var err error
+	if k.pointsBase, err = heap.Carve(k.Points * k.Dims); err != nil {
+		return err
+	}
+	if k.centers, err = heap.Carve(k.Clusters * k.perCluster); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	return seedUint64(th, k.pointsBase, k.Points*k.Dims, func(int) uint64 {
+		return uint64(rng.Intn(1024))
+	})
+}
+
+// Run implements workloads.Workload.
+func (k *KMeans) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	point := rng.Intn(k.Points)
+	return th.Atomic(func(tx ptm.Tx) error {
+		// Find the nearest cluster by reading the point and every center.
+		best, bestDist := 0, ^uint64(0)
+		for c := 0; c < k.Clusters; c++ {
+			center := k.centers + nvm.Addr(c*k.perCluster)
+			count := tx.Load(center)
+			var dist uint64
+			for d := 0; d < k.Dims; d++ {
+				p := tx.Load(k.pointsBase + nvm.Addr(point*k.Dims+d))
+				sum := tx.Load(center + 1 + nvm.Addr(d))
+				mean := sum
+				if count > 0 {
+					mean = sum / count
+				}
+				diff := int64(p) - int64(mean)
+				dist += uint64(diff * diff)
+			}
+			if dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		// Update the chosen cluster's accumulators: 1 + Dims writes.
+		center := k.centers + nvm.Addr(best*k.perCluster)
+		tx.Store(center, tx.Load(center)+1)
+		for d := 0; d < k.Dims; d++ {
+			p := tx.Load(k.pointsBase + nvm.Addr(point*k.Dims+d))
+			tx.Store(center+1+nvm.Addr(d), tx.Load(center+1+nvm.Addr(d))+p)
+		}
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: accumulator sums must be consistent
+// with the assignment counts (no partial cluster updates).
+func (k *KMeans) Check(heap *nvm.Heap) error {
+	for c := 0; c < k.Clusters; c++ {
+		center := k.centers + nvm.Addr(c*k.perCluster)
+		count := heap.Load(center)
+		var sum uint64
+		for d := 0; d < k.Dims; d++ {
+			sum += heap.Load(center + 1 + nvm.Addr(d))
+		}
+		if count == 0 && sum != 0 {
+			return fmt.Errorf("kmeans: cluster %d has sums without assignments", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// SSCA2 models kernel 1 of the SSCA2 graph benchmark: concurrently inserting
+// directed edges into per-node adjacency arrays. Transactions are tiny (two
+// persistent writes: the adjacency count and the new slot — Table 1 reports
+// 2.0 writes per transaction) and contention is very low because the graph
+// has many nodes.
+type SSCA2 struct {
+	Nodes     int
+	MaxDegree int
+
+	once carveOnce
+	adj  nvm.Addr // Nodes rows of (1 + MaxDegree) words: [count, edges...]
+	rows int
+}
+
+// NewSSCA2 returns an SSCA2 workload.
+func NewSSCA2() *SSCA2 {
+	return &SSCA2{Nodes: 1 << 15, MaxDegree: 30}
+}
+
+// Name implements workloads.Workload.
+func (s *SSCA2) Name() string { return "ssca2" }
+
+// Requirements implements workloads.Workload.
+func (s *SSCA2) Requirements() workloads.Requirements {
+	s.rows = ((1 + s.MaxDegree + nvm.WordsPerLine - 1) / nvm.WordsPerLine) * nvm.WordsPerLine
+	return workloads.Requirements{HeapWords: s.Nodes*s.rows + 1<<17}
+}
+
+func (s *SSCA2) row(node int) nvm.Addr { return s.adj + nvm.Addr(node*s.rows) }
+
+// Setup implements workloads.Workload.
+func (s *SSCA2) Setup(eng ptm.Engine, th ptm.Thread) error {
+	if !s.once.begin() {
+		return nil
+	}
+	var err error
+	s.adj, err = eng.Heap().Carve(s.Nodes * s.rows)
+	return err
+}
+
+// Run implements workloads.Workload: add one edge.
+func (s *SSCA2) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	from := rng.Intn(s.Nodes)
+	to := uint64(1 + rng.Intn(s.Nodes))
+	return th.Atomic(func(tx ptm.Tx) error {
+		row := s.row(from)
+		count := tx.Load(row)
+		if int(count) >= s.MaxDegree {
+			return nil // node full; the transaction is read-only
+		}
+		tx.Store(row+1+nvm.Addr(count), to)
+		tx.Store(row, count+1)
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: every adjacency row's count matches
+// its populated slots.
+func (s *SSCA2) Check(heap *nvm.Heap) error {
+	for node := 0; node < s.Nodes; node++ {
+		row := s.row(node)
+		count := heap.Load(row)
+		if int(count) > s.MaxDegree {
+			return fmt.Errorf("ssca2: node %d degree %d exceeds maximum", node, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			if heap.Load(row+1+nvm.Addr(i)) == 0 {
+				return fmt.Errorf("ssca2: node %d slot %d counted but empty", node, i)
+			}
+		}
+	}
+	return nil
+}

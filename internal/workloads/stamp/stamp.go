@@ -1,0 +1,59 @@
+// Package stamp implements Go analogues of the STAMP transactional benchmarks
+// the Crafty paper evaluates (Figure 8): kmeans, vacation, labyrinth, ssca2,
+// genome, and intruder. Following the paper's methodology, every benchmark
+// transaction is treated as a persistent transaction and every shared-memory
+// access inside a transaction is a persistent memory access.
+//
+// The original STAMP codes are C programs; these analogues reproduce each
+// benchmark's transactional kernel — its transaction sizes (Table 1's writes
+// per transaction), read/write mix, and contention character — over the
+// engine-neutral ptm interface, which is what the evaluation's throughput
+// shapes depend on. DESIGN.md records this substitution.
+package stamp
+
+import (
+	"fmt"
+	"sync"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// carveOnce guards a workload's one-time Setup.
+type carveOnce struct {
+	mu   sync.Mutex
+	done bool
+}
+
+// begin returns true the first time it is called; subsequent calls return
+// false. The caller must hold no locks.
+func (c *carveOnce) begin() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return false
+	}
+	c.done = true
+	return true
+}
+
+// seedUint64 fills a carved persistent array with values produced by gen,
+// using batched persistent transactions so the initial state is consistent.
+func seedUint64(th ptm.Thread, base nvm.Addr, n int, gen func(i int) uint64) error {
+	const batch = 128
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			for i := start; i < end; i++ {
+				tx.Store(base+nvm.Addr(i), gen(i))
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("stamp: seeding: %w", err)
+		}
+	}
+	return nil
+}

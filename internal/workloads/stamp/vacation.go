@@ -1,0 +1,163 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// Vacation models the vacation travel-reservation benchmark: a database of
+// cars, flights, and rooms plus customer records. Each transaction queries a
+// handful of items across the three relations and reserves one of each kind
+// for a customer, updating the item's availability and the customer's
+// reservation list. The paper's high-contention configuration queries a
+// narrower slice of the tables with more operations per transaction
+// (8 writes/txn) than the low-contention one (5.5 writes/txn, Table 1).
+type Vacation struct {
+	Relations     int // cars, flights, rooms
+	ItemsPerTable int
+	Customers     int
+	Queries       int     // items examined per transaction
+	Reserve       int     // relations reserved from per transaction
+	QueryRange    float64 // fraction of each table a transaction may touch
+
+	once      carveOnce
+	tables    nvm.Addr // Relations * ItemsPerTable lines: [available, reserved]
+	customers nvm.Addr // Customers lines: [reservations, spent]
+}
+
+// NewVacation returns a vacation workload in the paper's high- or
+// low-contention configuration.
+func NewVacation(highContention bool) *Vacation {
+	v := &Vacation{
+		Relations:     3,
+		ItemsPerTable: 1 << 12,
+		Customers:     1 << 12,
+		Queries:       4,
+		Reserve:       2,
+		QueryRange:    0.9,
+	}
+	if highContention {
+		v.ItemsPerTable = 1 << 8
+		v.Queries = 8
+		v.Reserve = 3
+		v.QueryRange = 0.1
+	}
+	return v
+}
+
+// Name implements workloads.Workload.
+func (v *Vacation) Name() string {
+	if v.ItemsPerTable <= 1<<8 {
+		return "vacation (high contention)"
+	}
+	return "vacation (low contention)"
+}
+
+// Requirements implements workloads.Workload.
+func (v *Vacation) Requirements() workloads.Requirements {
+	return workloads.Requirements{
+		HeapWords: (v.Relations*v.ItemsPerTable+v.Customers)*nvm.WordsPerLine + 1<<17,
+	}
+}
+
+func (v *Vacation) itemAddr(rel, item int) nvm.Addr {
+	return v.tables + nvm.Addr((rel*v.ItemsPerTable+item)*nvm.WordsPerLine)
+}
+
+func (v *Vacation) customerAddr(c int) nvm.Addr {
+	return v.customers + nvm.Addr(c*nvm.WordsPerLine)
+}
+
+// Setup implements workloads.Workload.
+func (v *Vacation) Setup(eng ptm.Engine, th ptm.Thread) error {
+	if !v.once.begin() {
+		return nil
+	}
+	heap := eng.Heap()
+	var err error
+	if v.tables, err = heap.Carve(v.Relations * v.ItemsPerTable * nvm.WordsPerLine); err != nil {
+		return err
+	}
+	if v.customers, err = heap.Carve(v.Customers * nvm.WordsPerLine); err != nil {
+		return err
+	}
+	// Every item starts with 100 available units.
+	for rel := 0; rel < v.Relations; rel++ {
+		base := v.itemAddr(rel, 0)
+		if err := seedUint64(th, base, v.ItemsPerTable*nvm.WordsPerLine, func(i int) uint64 {
+			if i%nvm.WordsPerLine == 0 {
+				return 100
+			}
+			return 0
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements workloads.Workload: one make-reservation transaction.
+func (v *Vacation) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	customer := rng.Intn(v.Customers)
+	span := int(float64(v.ItemsPerTable) * v.QueryRange)
+	if span < 1 {
+		span = 1
+	}
+	offset := rng.Intn(v.ItemsPerTable - span + 1)
+	// All random choices are made before the transaction body so that
+	// engines may safely re-execute it.
+	items := make([]int, v.Queries)
+	for q := range items {
+		items[q] = offset + rng.Intn(span)
+	}
+	return th.Atomic(func(tx ptm.Tx) error {
+		reserved := 0
+		for q := 0; q < v.Queries; q++ {
+			rel := q % v.Relations
+			item := items[q]
+			addr := v.itemAddr(rel, item)
+			available := tx.Load(addr)
+			if available == 0 || reserved >= v.Reserve {
+				continue
+			}
+			// Reserve the item: decrement availability, increment its
+			// reserved count, and record it on the customer.
+			tx.Store(addr, available-1)
+			tx.Store(addr+1, tx.Load(addr+1)+1)
+			reserved++
+		}
+		cust := v.customerAddr(customer)
+		tx.Store(cust, tx.Load(cust)+uint64(reserved))
+		tx.Store(cust+1, tx.Load(cust+1)+uint64(reserved*50))
+		return nil
+	})
+}
+
+// Check implements workloads.Workload: for every item, available + reserved
+// must equal the initial stock, and total customer reservations must equal
+// total reserved units.
+func (v *Vacation) Check(heap *nvm.Heap) error {
+	var totalReserved uint64
+	for rel := 0; rel < v.Relations; rel++ {
+		for item := 0; item < v.ItemsPerTable; item++ {
+			addr := v.itemAddr(rel, item)
+			available, reserved := heap.Load(addr), heap.Load(addr+1)
+			if available+reserved != 100 {
+				return fmt.Errorf("vacation: item (%d,%d) stock %d+%d != 100", rel, item, available, reserved)
+			}
+			totalReserved += reserved
+		}
+	}
+	var customerReservations uint64
+	for c := 0; c < v.Customers; c++ {
+		customerReservations += heap.Load(v.customerAddr(c))
+	}
+	if customerReservations != totalReserved {
+		return fmt.Errorf("vacation: customers hold %d reservations, items record %d", customerReservations, totalReserved)
+	}
+	return nil
+}

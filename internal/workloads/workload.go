@@ -1,0 +1,48 @@
+// Package workloads defines the common interface between the benchmark
+// harness and the evaluated programs: the bank and B+ tree microbenchmarks
+// and the STAMP-analog transactional workloads, all programmed against the
+// engine-neutral ptm interface so every experiment runs unchanged over
+// Crafty, its variants, and every baseline.
+package workloads
+
+import (
+	"math/rand"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// Requirements tells the harness how big a heap and allocation arena a
+// workload needs.
+type Requirements struct {
+	// HeapWords is the minimum heap size in words, including room for engine
+	// metadata and logs.
+	HeapWords int
+	// ArenaWords is the allocation arena the engine must provide for
+	// Tx.Alloc (0 if the workload never allocates).
+	ArenaWords int
+}
+
+// Workload is one benchmark program.
+type Workload interface {
+	// Name identifies the workload and configuration in reports, matching
+	// the labels used in the paper's figures (e.g. "bank (high contention)").
+	Name() string
+
+	// Requirements reports the workload's heap and arena needs.
+	Requirements() Requirements
+
+	// Setup carves and initializes the workload's persistent data. It runs
+	// once, before any worker starts, using a worker thread of the engine.
+	Setup(eng ptm.Engine, th ptm.Thread) error
+
+	// Run executes one persistent transaction (one benchmark operation) on
+	// the given worker thread. worker is the worker's index (0-based, dense),
+	// used by partitioned configurations; rng is the worker's private random
+	// source.
+	Run(worker int, th ptm.Thread, rng *rand.Rand) error
+
+	// Check verifies the workload's integrity invariants after all workers
+	// have finished; the harness fails the experiment if it errors.
+	Check(heap *nvm.Heap) error
+}
