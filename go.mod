@@ -1,0 +1,3 @@
+module crafty
+
+go 1.24

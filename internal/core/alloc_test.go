@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// TestAtomicSteadyStateAllocs gates the allocation-free persistent
+// transaction path: a small committed Crafty transaction (Log + Redo phases,
+// both hardware transactions, plus undo/redo log maintenance and flushes)
+// must not allocate once the thread's reusable state is warm. Tracking is off,
+// as in throughput experiments.
+func TestAtomicSteadyStateAllocs(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 18, PersistLatency: nvm.NoLatency})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := heap.MustCarve(8 * nvm.WordsPerLine)
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(tx ptm.Tx) error {
+		for w := 0; w < 4; w++ {
+			a := data + nvm.Addr(w*nvm.WordsPerLine)
+			tx.Store(a, tx.Load(a)+1)
+		}
+		return nil
+	}
+	for i := 0; i < 20; i++ {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state committed persistent transaction allocated %v times per run, want 0", allocs)
+	}
+	if s := th.Stats(); s.Persistent[ptm.OutcomeRedo] == 0 {
+		t.Fatalf("expected Redo commits in the uncontended run, got %+v", s.Persistent)
+	}
+}
+
+// TestAtomicReadOnlySteadyStateAllocs does the same for the read-only fast
+// path, which skips the Redo and Validate phases entirely.
+func TestAtomicReadOnlySteadyStateAllocs(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 18, PersistLatency: nvm.NoLatency})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := heap.MustCarve(8)
+	heap.Store(data, 99)
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink uint64
+	body := func(tx ptm.Tx) error {
+		sink += tx.Load(data)
+		return nil
+	}
+	for i := 0; i < 20; i++ {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state read-only transaction allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
+}

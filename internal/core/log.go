@@ -161,16 +161,14 @@ func (l *undoLog) writeEntry(w storer, slot int, tag, payload uint64) {
 // writeMarkerAtCommit writes a marker entry whose timestamp is the enclosing
 // hardware transaction's commit timestamp, i.e. the timestamp is drawn at the
 // transaction's serialization point exactly as the paper's RDTSC-inside-RTM
-// does. capture observes the timestamp (it runs only if the transaction
-// commits).
-func (l *undoLog) writeMarkerAtCommit(hwtx *htm.Tx, slot int, kind uint64, capture func(ts uint64)) {
+// does. The payload encoding ts<<1 | wrap matches encodeEntry for markers;
+// the caller observes the drawn timestamp through htm.Thread.CommitTS after
+// the transaction commits.
+func (l *undoLog) writeMarkerAtCommit(hwtx *htm.Tx, slot int, kind uint64) {
 	wrap := l.wrapBit()
 	addr := l.slotAddr(slot)
 	hwtx.Store(addr, kind<<tagShift|wrap)
-	hwtx.StoreAtCommit(addr+1, func(ts uint64) uint64 {
-		capture(ts)
-		return ts<<1 | wrap
-	})
+	hwtx.StoreCommitTS(addr+1, 1, wrap)
 }
 
 // halfOf returns which half of the log a slot index falls in.

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"slices"
+
 	"crafty/internal/htm"
+	"crafty/internal/nvm"
 	"crafty/internal/ptm"
 )
 
@@ -29,7 +32,8 @@ func (t *Thread) logPhase(body func(tx ptm.Tx) error, a *attempt) htm.AbortCause
 			a.sglBusy = true
 			hwtx.Abort()
 		}
-		ctx := &craftyTx{t: t, hwtx: hwtx, a: a, mode: modeLog}
+		ctx := &t.ctx
+		*ctx = craftyTx{t: t, hwtx: hwtx, a: a, mode: modeLog}
 		if err := body(ctx); err != nil {
 			a.userErr = err
 			hwtx.Abort()
@@ -50,7 +54,7 @@ func (t *Thread) logPhase(body func(tx ptm.Tx) error, a *attempt) htm.AbortCause
 		// The LOGGED entry carries the Log phase's commit timestamp, drawn at
 		// the hardware transaction's serialization point.
 		a.markerSlot = a.startSlot + len(t.undo)
-		t.log.writeMarkerAtCommit(hwtx, a.markerSlot, markerLogged, func(ts uint64) { a.lastTS = ts })
+		t.log.writeMarkerAtCommit(hwtx, a.markerSlot, markerLogged)
 	})
 	if cause != htm.CauseNone {
 		return cause
@@ -58,6 +62,7 @@ func (t *Thread) logPhase(body func(tx ptm.Tx) error, a *attempt) htm.AbortCause
 	if a.readOnly {
 		return htm.CauseNone
 	}
+	a.lastTS = t.hw.CommitTS()
 	a.writes = len(t.undo)
 	t.log.advance(a.startSlot, a.writes+1, a.lastTS)
 	return htm.CauseNone
@@ -65,8 +70,22 @@ func (t *Thread) logPhase(body func(tx ptm.Tx) error, a *attempt) htm.AbortCause
 
 // redoPhase attempts to commit the transaction's writes by applying the
 // volatile redo log inside a hardware transaction (Algorithm 2). It succeeds
-// only if no other thread has committed writes since this thread's Log phase,
-// which the global gLastRedoTS timestamp check establishes conservatively.
+// only if no other thread has committed writes since this transaction began,
+// which the global gLastRedoTS timestamp check establishes conservatively:
+// a.redoSnapshot is the value of gLastRedoTS pre-read (with strong isolation)
+// when the persistent transaction started, and every data-publishing commit
+// in the system advances gLastRedoTS.
+//
+// One emulation-specific subtlety: once another thread's commit has advanced
+// gLastRedoTS past this hardware transaction's TL2 snapshot, the
+// transactional load below aborts with CauseConflict before the comparison
+// can run. That abort carries the same meaning as a failed check — another
+// thread committed writes in between — so it is routed into the Validate
+// path too; without the routing, contended workloads would retry from the
+// Log phase forever and never reach Validate. The check runs inside the
+// hardware transaction (rather than as a strongly isolated pre-read) so that
+// its failures count as hardware aborts in the statistics, exactly as the
+// RDTSC-based check inside a real RTM region would.
 func (t *Thread) redoPhase(a *attempt) htm.AbortCause {
 	a.sglBusy = false
 	a.checkFailed = false
@@ -75,10 +94,10 @@ func (t *Thread) redoPhase(a *attempt) htm.AbortCause {
 			a.sglBusy = true
 			hwtx.Abort()
 		}
-		if hwtx.Load(t.eng.gLastRedoTSAddr) >= a.lastTS {
-			// Another thread committed writes after our Log phase; failing
-			// here is a necessary but not sufficient indication of a real
-			// conflict, so the Validate phase decides.
+		if hwtx.Load(t.eng.gLastRedoTSAddr) != a.redoSnapshot {
+			// Another thread committed writes since this transaction began;
+			// failing here is a necessary but not sufficient indication of a
+			// real conflict, so the Validate phase decides.
 			a.checkFailed = true
 			hwtx.Abort()
 		}
@@ -91,12 +110,19 @@ func (t *Thread) redoPhase(a *attempt) htm.AbortCause {
 		// Advance gLastRedoTS to this transaction's commit timestamp and
 		// convert the LOGGED entry into the merged COMMITTED entry
 		// (Section 6) by rewriting it with that timestamp.
-		hwtx.StoreAtCommit(t.eng.gLastRedoTSAddr, func(ts uint64) uint64 { return ts })
-		t.log.writeMarkerAtCommit(hwtx, a.markerSlot, markerCommitted, func(ts uint64) { a.commitTS = ts })
+		hwtx.StoreCommitTS(t.eng.gLastRedoTSAddr, 0, 0)
+		t.log.writeMarkerAtCommit(hwtx, a.markerSlot, markerCommitted)
 	})
 	if cause != htm.CauseNone {
+		if cause == htm.CauseConflict && !a.sglBusy {
+			// The conflict was raised by a commit landing during the Redo
+			// phase (on the gLastRedoTS line or a data line being republished)
+			// — the same situation the timestamp check exists to detect.
+			a.checkFailed = true
+		}
 		return cause
 	}
+	a.commitTS = t.hw.CommitTS()
 	t.flushCommit(a)
 	return htm.CauseNone
 }
@@ -117,7 +143,8 @@ func (t *Thread) validatePhase(body func(tx ptm.Tx) error, a *attempt) htm.Abort
 			a.sglBusy = true
 			hwtx.Abort()
 		}
-		ctx := &craftyTx{t: t, hwtx: hwtx, a: a, mode: modeValidate}
+		ctx := &t.ctx
+		*ctx = craftyTx{t: t, hwtx: hwtx, a: a, mode: modeValidate}
 		if err := body(ctx); err != nil {
 			a.userErr = err
 			hwtx.Abort()
@@ -129,24 +156,40 @@ func (t *Thread) validatePhase(body func(tx ptm.Tx) error, a *attempt) htm.Abort
 			a.validationFailed = true
 			hwtx.Abort()
 		}
-		hwtx.StoreAtCommit(t.eng.gLastRedoTSAddr, func(ts uint64) uint64 { return ts })
-		t.log.writeMarkerAtCommit(hwtx, a.markerSlot, markerCommitted, func(ts uint64) { a.commitTS = ts })
+		hwtx.StoreCommitTS(t.eng.gLastRedoTSAddr, 0, 0)
+		t.log.writeMarkerAtCommit(hwtx, a.markerSlot, markerCommitted)
 	})
 	if cause != htm.CauseNone {
 		return cause
 	}
+	a.commitTS = t.hw.CommitTS()
 	t.flushCommit(a)
 	return htm.CauseNone
 }
 
-// flushCommit flushes the transaction's written-to addresses and its
+// flushCommit flushes the transaction's written-to cache lines and its
 // COMMITTED entry. There is no drain: the recovery algorithm always rolls
 // back each thread's most recent logged sequence precisely because these
 // write-backs may not have completed, and the thread's next hardware
 // transaction commit fences them.
+//
+// The written-to addresses are deduplicated to one CLWB per distinct cache
+// line (through a reused, sorted scratch buffer) rather than issuing one
+// Flush per logged word: transactions frequently write several words of the
+// same line, and a real implementation write-backs lines, not words.
 func (t *Thread) flushCommit(a *attempt) {
+	t.flushLines = t.flushLines[:0]
 	for i := range t.undo {
-		t.flusher.Flush(t.undo[i].addr)
+		t.flushLines = append(t.flushLines, nvm.LineOf(t.undo[i].addr))
+	}
+	slices.Sort(t.flushLines)
+	prev := ^uint64(0)
+	for _, line := range t.flushLines {
+		if line == prev {
+			continue
+		}
+		prev = line
+		t.flusher.Flush(nvm.Addr(line * nvm.WordsPerLine))
 	}
 	t.flusher.FlushRange(t.log.slotAddr(a.markerSlot), entryWords)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"crafty/internal/alloc"
@@ -26,6 +27,14 @@ type redoRec struct {
 // attempt carries the per-transaction state shared between the orchestration
 // loop and the hardware transaction bodies of the individual phases.
 type attempt struct {
+	// redoSnapshot is the value of gLastRedoTS pre-read (with strong
+	// isolation) when the persistent transaction began. The Redo phase's
+	// timestamp check compares against it; the snapshot is deliberately not
+	// refreshed when the transaction restarts from the Log phase, so a
+	// transaction that has already observed interference keeps committing
+	// through the Validate phase, which re-checks the data itself.
+	redoSnapshot uint64
+
 	// Set by the Log phase.
 	startSlot  int    // first undo log slot used by this transaction
 	markerSlot int    // slot holding the merged LOGGED/COMMITTED entry
@@ -60,6 +69,13 @@ type Thread struct {
 	// Volatile per-transaction logs, reused across transactions.
 	undo []undoRec
 	redo []redoRec
+
+	// Per-transaction scratch reused so the steady-state path allocates
+	// nothing: the attempt state, the ptm.Tx adapter handed to the body, and
+	// the line buffer flushCommit deduplicates written lines through.
+	a          attempt
+	ctx        craftyTx
+	flushLines []uint64
 
 	// lastCommittedTS publishes the timestamp of this thread's most recent
 	// committed (or forced empty) sequence for the Section 5.2 bound
@@ -184,14 +200,25 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 	}
 
 	failures := 0
-	fallback := func(body func(tx ptm.Tx) error) error {
-		return t.runSGL(body, false)
-	}
+
+	// Pre-read gLastRedoTS once for the whole persistent transaction; see
+	// attempt.redoSnapshot.
+	redoSnapshot := t.eng.hw.NonTxLoad(t.eng.gLastRedoTSAddr)
 
 	for {
+		if t.eng.cfg.DisableValidate {
+			// Crafty-NoValidate has no Validate phase to absorb a stale
+			// snapshot: gLastRedoTS is monotonic, so a snapshot from before
+			// some other thread's commit would fail the Redo check on every
+			// retry and degenerate the transaction to the SGL fallback.
+			// Refresh it per attempt instead, restoring the variant's
+			// retry-until-quiet behaviour.
+			redoSnapshot = t.eng.hw.NonTxLoad(t.eng.gLastRedoTSAddr)
+		}
 		t.ensureLogSpace()
-		var a attempt
-		cause := t.logPhase(body, &a)
+		a := &t.a
+		*a = attempt{redoSnapshot: redoSnapshot}
+		cause := t.logPhase(body, a)
 		if a.userErr != nil {
 			return t.abandon(a.userErr)
 		}
@@ -208,12 +235,12 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 				t.waitForSGL()
 			}
 			if failures++; failures > t.eng.cfg.MaxRetries {
-				return fallback(body)
+				return t.runSGL(body, false)
 			}
 			continue
 		}
 		if a.readOnly {
-			t.finishCommit(ptm.OutcomeReadOnly, &a)
+			t.finishCommit(ptm.OutcomeReadOnly, a)
 			return nil
 		}
 
@@ -221,10 +248,18 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		// phase's hardware transaction commit provides the fence).
 		t.flusher.FlushRange(t.log.slotAddr(a.startSlot), (a.writes+1)*entryWords)
 
+		// Emulate the window between the Log and Redo phases in which the
+		// undo entries' cache-line write-backs travel to the persistence
+		// domain: on real hardware other cores' transactions commit during
+		// it. An emulation run with fewer schedulable processors than worker
+		// threads would otherwise almost never interleave here, hiding the
+		// Validate phase entirely (see DESIGN.md).
+		t.eng.phaseYield()
+
 		if !t.eng.cfg.DisableRedo {
-			rcause := t.redoPhase(&a)
+			rcause := t.redoPhase(a)
 			if rcause == htm.CauseNone {
-				t.finishCommit(ptm.OutcomeRedo, &a)
+				t.finishCommit(ptm.OutcomeRedo, a)
 				return nil
 			}
 			if a.sglBusy {
@@ -233,13 +268,19 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 				// the lock is free.
 				t.waitForSGL()
 				if failures++; failures > t.eng.cfg.MaxRetries {
-					return fallback(body)
+					return t.runSGL(body, false)
 				}
 				t.prepareRetry()
 				continue
 			}
-			if !a.checkFailed {
+			if !a.checkFailed || rcause == htm.CauseConflict {
 				// Genuine hardware abort (conflict, capacity, spurious).
+				// Conflict aborts count even when routed into the Validate
+				// path via checkFailed: they must keep advancing the bounded
+				// SGL fallback, or a Redo-conflict/Validate-restart cycle
+				// could starve forever under sustained contention. Only the
+				// explicit timestamp-check XABORT is exempt, as in the
+				// original flow.
 				failures++
 			}
 		}
@@ -248,7 +289,7 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 			// Crafty-NoValidate: a failed Redo phase restarts the whole
 			// transaction from the Log phase.
 			if failures++; failures > t.eng.cfg.MaxRetries {
-				return fallback(body)
+				return t.runSGL(body, false)
 			}
 			t.prepareRetry()
 			continue
@@ -257,7 +298,7 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		committed := false
 		restart := false
 		for vtry := 0; vtry <= t.eng.cfg.ValidateRetries; vtry++ {
-			vcause := t.validatePhase(body, &a)
+			vcause := t.validatePhase(body, a)
 			if a.userErr != nil {
 				return t.abandon(a.userErr)
 			}
@@ -276,11 +317,11 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 			}
 			failures++
 			if failures > t.eng.cfg.MaxRetries {
-				return fallback(body)
+				return t.runSGL(body, false)
 			}
 		}
 		if committed {
-			t.finishCommit(ptm.OutcomeValidate, &a)
+			t.finishCommit(ptm.OutcomeValidate, a)
 			return nil
 		}
 		if !restart {
@@ -288,7 +329,7 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 			failures++
 		}
 		if failures > t.eng.cfg.MaxRetries {
-			return fallback(body)
+			return t.runSGL(body, false)
 		}
 		t.prepareRetry()
 	}
@@ -331,10 +372,12 @@ func (t *Thread) finishCommit(outcome ptm.Outcome, a *attempt) {
 	}
 }
 
-// waitForSGL spins until the single global lock is free. The subsequent
-// hardware transaction re-checks it, so a race here only costs another
-// retry.
+// waitForSGL spins until the single global lock is free, yielding the
+// processor so the holder can run even when worker threads outnumber
+// schedulable processors. The subsequent hardware transaction re-checks it,
+// so a race here only costs another retry.
 func (t *Thread) waitForSGL() {
 	for t.eng.hw.NonTxLoad(t.eng.sglAddr) != 0 {
+		runtime.Gosched()
 	}
 }

@@ -1,0 +1,80 @@
+package htm
+
+import (
+	"testing"
+
+	"crafty/internal/nvm"
+)
+
+// benchEngine builds an engine over an untracked, zero-latency heap, matching
+// the configuration the paper's throughput experiments use.
+func benchEngine(b *testing.B, words int) *Engine {
+	b.Helper()
+	h := nvm.NewHeap(nvm.Config{Words: words, PersistLatency: nvm.NoLatency})
+	return NewEngine(h, Config{})
+}
+
+// BenchmarkHTMLoadStore measures the transactional data path: one committed
+// hardware transaction performing 8 loads and 8 stores over 8 cache lines,
+// the shape of a typical small Crafty Log phase.
+func BenchmarkHTMLoadStore(b *testing.B) {
+	e := benchEngine(b, 1<<16)
+	th := e.NewThread(1)
+	base := e.Heap().MustCarve(8 * nvm.WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cause := th.Run(func(tx *Tx) {
+			for w := 0; w < 8; w++ {
+				addr := base + nvm.Addr(w*nvm.WordsPerLine)
+				tx.Store(addr, tx.Load(addr)+1)
+			}
+		})
+		if cause != CauseNone {
+			b.Fatalf("uncontended transaction aborted: %v", cause)
+		}
+	}
+}
+
+// BenchmarkHTMCommit isolates the commit protocol: transactions that write 4
+// distinct lines with no transactional reads, so nearly all time is spent in
+// lock acquisition, timestamp draw, publication, and line stamping.
+func BenchmarkHTMCommit(b *testing.B) {
+	e := benchEngine(b, 1<<16)
+	th := e.NewThread(1)
+	base := e.Heap().MustCarve(4 * nvm.WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cause := th.Run(func(tx *Tx) {
+			for w := 0; w < 4; w++ {
+				tx.Store(base+nvm.Addr(w*nvm.WordsPerLine), uint64(i))
+			}
+		})
+		if cause != CauseNone {
+			b.Fatalf("uncontended transaction aborted: %v", cause)
+		}
+	}
+}
+
+// BenchmarkHTMReadOnly measures a committed read-only transaction (4 lines),
+// the fast path Crafty's read-only persistent transactions reduce to.
+func BenchmarkHTMReadOnly(b *testing.B) {
+	e := benchEngine(b, 1<<16)
+	th := e.NewThread(1)
+	base := e.Heap().MustCarve(4 * nvm.WordsPerLine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		cause := th.Run(func(tx *Tx) {
+			for w := 0; w < 4; w++ {
+				sink += tx.Load(base + nvm.Addr(w*nvm.WordsPerLine))
+			}
+		})
+		if cause != CauseNone {
+			b.Fatalf("read-only transaction aborted: %v", cause)
+		}
+	}
+	_ = sink
+}

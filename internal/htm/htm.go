@@ -28,6 +28,7 @@ package htm
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"crafty/internal/nvm"
@@ -157,6 +158,7 @@ func (e *Engine) AdvanceTimestamp(ts uint64) {
 // publication window; see the activeCommitters field.
 func (e *Engine) QuiesceCommitters() {
 	for e.activeCommitters.Load() != 0 {
+		runtime.Gosched()
 	}
 }
 
@@ -193,6 +195,9 @@ func (e *Engine) NonTxLoad(addr nvm.Addr) uint64 {
 	for {
 		before := lk.Load()
 		if isLocked(before) {
+			// The lock holder is mid-commit; let it run (it may be starved of
+			// a processor when worker threads outnumber GOMAXPROCS).
+			runtime.Gosched()
 			continue
 		}
 		val := e.heap.Load(addr)
@@ -234,6 +239,7 @@ func (e *Engine) lockLine(line uint64) {
 	for {
 		cur := lk.Load()
 		if isLocked(cur) {
+			runtime.Gosched()
 			continue
 		}
 		if lk.CompareAndSwap(cur, cur|lockBit) {

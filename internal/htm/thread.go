@@ -48,6 +48,10 @@ type Thread struct {
 	aborts         [NumCauses]atomic.Uint64
 	inTransaction  bool
 	currentAborted bool
+
+	// tx is the thread's reusable transaction handle: one instance, reset
+	// between attempts, so the steady-state data path allocates nothing.
+	tx Tx
 }
 
 var threadIDs atomic.Int64
@@ -72,6 +76,14 @@ func (t *Thread) Flusher() *nvm.Flusher { return t.flusher }
 
 // ID returns the thread's engine-unique identifier.
 func (t *Thread) ID() int { return t.id }
+
+// CommitTS returns the commit timestamp of this thread's most recent
+// committed hardware transaction: the version its writes were published
+// under, or the global clock value at commit for a read-only transaction.
+// It replaces per-transaction commit callbacks (which would allocate a
+// closure per transaction) and is only meaningful after Run returns
+// CauseNone.
+func (t *Thread) CommitTS() uint64 { return t.tx.commitTS }
 
 // Stats returns a snapshot of this thread's hardware transaction outcomes.
 func (t *Thread) Stats() Stats {
@@ -104,7 +116,8 @@ func (t *Thread) Run(body func(tx *Tx)) (cause AbortCause) {
 	t.inTransaction = true
 	defer func() { t.inTransaction = false }()
 
-	tx := newTx(t)
+	tx := &t.tx
+	tx.reset(t)
 	defer func() {
 		if r := recover(); r != nil {
 			ab, ok := r.(htmAbort)
@@ -125,7 +138,7 @@ func (t *Thread) Run(body func(tx *Tx)) (cause AbortCause) {
 	body(tx)
 	tx.commit()
 	t.commits.Add(1)
-	if len(tx.writes) == 0 && len(tx.deferred) == 0 {
+	if tx.writes.size() == 0 && len(tx.deferred) == 0 {
 		t.readOnly.Add(1)
 	}
 	return CauseNone

@@ -1,7 +1,7 @@
 package htm
 
 import (
-	"sort"
+	"slices"
 
 	"crafty/internal/nvm"
 )
@@ -9,6 +9,12 @@ import (
 // Tx is the handle a transaction body uses to access memory inside one
 // hardware transaction attempt. It is only valid for the duration of the
 // Thread.Run call that created it.
+//
+// Each Thread owns a single Tx that is reset and reused across attempts, so
+// the steady-state data path performs no heap allocations: the read and write
+// sets are epoch-stamped containers (txset.go) whose backing storage
+// persists, and the commit protocol sorts and locks lines through reusable
+// scratch buffers.
 type Tx struct {
 	thread *Thread
 	eng    *Engine
@@ -19,38 +25,49 @@ type Tx struct {
 
 	// readLines records the distinct cache lines read (for commit-time
 	// validation and the capacity bound).
-	readLines map[uint64]struct{}
+	readLines lineSet
 
-	// writes buffers the transaction's stores; writeLines tracks the distinct
-	// cache lines written for locking and the capacity bound.
-	writes     map[nvm.Addr]uint64
-	writeOrder []nvm.Addr
-	writeLines map[uint64]struct{}
+	// writes buffers the transaction's stores in program order; writeLines
+	// tracks the distinct cache lines written for locking and the capacity
+	// bound.
+	writes     writeSet
+	writeLines lineSet
 
-	// deferred holds stores whose values are computed from the commit
-	// timestamp at commit time (see StoreAtCommit).
+	// deferred holds stores whose values are derived from the commit
+	// timestamp at commit time (see StoreCommitTS).
 	deferred []deferredStore
 
-	// onCommit callbacks run after a successful commit with the commit
-	// timestamp.
-	onCommit []func(commitTS uint64)
+	// commitTS is the commit timestamp of the most recent committed attempt
+	// (the write version it published, or the snapshot clock value for a
+	// read-only commit). Read it through Thread.CommitTS.
+	commitTS uint64
+
+	// lineBuf and lockedBuf are commit-protocol scratch: the sorted written
+	// lines and the prefix of them currently locked.
+	lineBuf   []uint64
+	lockedBuf []uint64
 }
 
-// deferredStore is a write whose value depends on the commit timestamp.
+// deferredStore is a write whose value is (commitTS << shift) | orBits. The
+// encoding is a closed form rather than a callback so that buffering one does
+// not allocate a closure; it covers every use in this module (raw timestamps
+// and the undo log's shifted-timestamp-plus-wrap-bit marker payloads).
 type deferredStore struct {
-	addr    nvm.Addr
-	compute func(commitTS uint64) uint64
+	addr  nvm.Addr
+	shift uint8
+	or    uint64
 }
 
-func newTx(t *Thread) *Tx {
-	return &Tx{
-		thread:      t,
-		eng:         t.eng,
-		readVersion: t.eng.globalVersion.Load(),
-		readLines:   make(map[uint64]struct{}, 16),
-		writes:      make(map[nvm.Addr]uint64, 16),
-		writeLines:  make(map[uint64]struct{}, 8),
-	}
+// reset readies the Tx for a fresh attempt on thread t, retaining all backing
+// storage from earlier attempts.
+func (tx *Tx) reset(t *Thread) {
+	tx.thread = t
+	tx.eng = t.eng
+	tx.readVersion = t.eng.globalVersion.Load()
+	tx.readLines.reset()
+	tx.writeLines.reset()
+	tx.writes.reset()
+	tx.deferred = tx.deferred[:0]
 }
 
 // abort unwinds the transaction attempt with the given cause.
@@ -69,7 +86,7 @@ func (tx *Tx) Abort() {
 // If the snapshot can no longer be guaranteed consistent (another thread
 // committed a conflicting write), the attempt aborts.
 func (tx *Tx) Load(addr nvm.Addr) uint64 {
-	if val, ok := tx.writes[addr]; ok {
+	if val, ok := tx.writes.get(addr); ok {
 		return val
 	}
 	line := nvm.LineOf(addr)
@@ -83,11 +100,8 @@ func (tx *Tx) Load(addr nvm.Addr) uint64 {
 	if lk.Load() != before {
 		tx.abort(CauseConflict)
 	}
-	if _, seen := tx.readLines[line]; !seen {
-		if len(tx.readLines) >= tx.eng.cfg.MaxReadLines {
-			tx.abort(CauseCapacity)
-		}
-		tx.readLines[line] = struct{}{}
+	if tx.readLines.add(line) && tx.readLines.size() > tx.eng.cfg.MaxReadLines {
+		tx.abort(CauseCapacity)
 	}
 	return val
 }
@@ -96,58 +110,50 @@ func (tx *Tx) Load(addr nvm.Addr) uint64 {
 // to other threads, atomically with the transaction's other writes, only if
 // the attempt commits.
 func (tx *Tx) Store(addr nvm.Addr, val uint64) {
-	line := nvm.LineOf(addr)
-	if _, seen := tx.writeLines[line]; !seen {
-		if len(tx.writeLines) >= tx.eng.cfg.MaxWriteLines {
-			tx.abort(CauseCapacity)
-		}
-		tx.writeLines[line] = struct{}{}
+	if tx.writeLines.add(nvm.LineOf(addr)) && tx.writeLines.size() > tx.eng.cfg.MaxWriteLines {
+		tx.abort(CauseCapacity)
 	}
-	if _, seen := tx.writes[addr]; !seen {
-		tx.writeOrder = append(tx.writeOrder, addr)
-	}
-	tx.writes[addr] = val
+	tx.writes.put(addr, val)
 }
 
 // WriteSetSize reports how many distinct words this transaction has written
 // so far. Crafty's thread-unsafe mode uses it to chunk transactions into at
 // most k persistent writes.
-func (tx *Tx) WriteSetSize() int { return len(tx.writes) }
+func (tx *Tx) WriteSetSize() int { return tx.writes.size() }
 
-// StoreAtCommit buffers a write to addr whose value is computed, at commit
-// time, from the transaction's commit timestamp (the value this commit
-// publishes into the global version clock). Crafty uses it so that the
-// timestamps in LOGGED/COMMITTED entries and in gLastRedoTS are drawn at the
-// transaction's serialization point, which is what reading RDTSC inside a
-// real hardware transaction approximates: a timestamp obtained earlier in the
-// speculative execution would not be ordered consistently with the
-// transaction's place in the commit order.
-func (tx *Tx) StoreAtCommit(addr nvm.Addr, compute func(commitTS uint64) uint64) {
-	line := nvm.LineOf(addr)
-	if _, seen := tx.writeLines[line]; !seen {
-		if len(tx.writeLines) >= tx.eng.cfg.MaxWriteLines {
-			tx.abort(CauseCapacity)
-		}
-		tx.writeLines[line] = struct{}{}
+// StoreCommitTS buffers a write to addr whose value is computed, at commit
+// time, as (commitTS << shift) | orBits, where commitTS is the transaction's
+// commit timestamp (the value this commit publishes into the global version
+// clock). Crafty uses it so that the timestamps in LOGGED/COMMITTED entries
+// and in gLastRedoTS are drawn at the transaction's serialization point,
+// which is what reading RDTSC inside a real hardware transaction
+// approximates: a timestamp obtained earlier in the speculative execution
+// would not be ordered consistently with the transaction's place in the
+// commit order. The caller observes the drawn timestamp itself through
+// Thread.CommitTS after Run returns.
+func (tx *Tx) StoreCommitTS(addr nvm.Addr, shift uint8, orBits uint64) {
+	if tx.writeLines.add(nvm.LineOf(addr)) && tx.writeLines.size() > tx.eng.cfg.MaxWriteLines {
+		tx.abort(CauseCapacity)
 	}
-	tx.deferred = append(tx.deferred, deferredStore{addr: addr, compute: compute})
+	tx.deferred = append(tx.deferred, deferredStore{addr: addr, shift: shift, or: orBits})
 }
 
-// OnCommit registers a callback to run if and when the transaction commits,
-// receiving the commit timestamp. Callbacks do not run on abort.
-func (tx *Tx) OnCommit(fn func(commitTS uint64)) {
-	tx.onCommit = append(tx.onCommit, fn)
+// unlockLines releases the line locks in tx.lockedBuf, preserving each line's
+// version (an abort publishes nothing, so versions must not advance).
+func (tx *Tx) unlockLines() {
+	for _, line := range tx.lockedBuf {
+		lk := tx.eng.lineLock(line)
+		lk.Store(lk.Load() &^ lockBit)
+	}
 }
 
 // commit publishes the write set atomically, or aborts with CauseConflict if
 // the read set can no longer be validated against the snapshot.
 func (tx *Tx) commit() {
-	if len(tx.writes) == 0 && len(tx.deferred) == 0 {
+	if tx.writes.size() == 0 && len(tx.deferred) == 0 {
 		// Read-only transactions are trivially serializable at their snapshot.
 		tx.thread.flusher.Fence()
-		for _, fn := range tx.onCommit {
-			fn(tx.eng.globalVersion.Load())
-		}
+		tx.commitTS = tx.eng.globalVersion.Load()
 		return
 	}
 
@@ -159,20 +165,11 @@ func (tx *Tx) commit() {
 
 	// Acquire the versioned locks of all written lines in address order to
 	// avoid deadlock between concurrent committers.
-	lines := make([]uint64, 0, len(tx.writeLines))
-	for line := range tx.writeLines {
-		lines = append(lines, line)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	tx.lineBuf = append(tx.lineBuf[:0], tx.writeLines.dense...)
+	slices.Sort(tx.lineBuf)
 
-	locked := make([]uint64, 0, len(lines))
-	unlockAll := func() {
-		for _, line := range locked {
-			lk := tx.eng.lineLock(line)
-			lk.Store(lk.Load() &^ lockBit)
-		}
-	}
-	for _, line := range lines {
+	tx.lockedBuf = tx.lockedBuf[:0]
+	for _, line := range tx.lineBuf {
 		lk := tx.eng.lineLock(line)
 		acquired := false
 		for spin := 0; spin < tx.eng.cfg.MaxLockSpin; spin++ {
@@ -189,10 +186,10 @@ func (tx *Tx) commit() {
 			}
 		}
 		if !acquired {
-			unlockAll()
+			tx.unlockLines()
 			tx.abort(CauseConflict)
 		}
-		locked = append(locked, line)
+		tx.lockedBuf = append(tx.lockedBuf, line)
 	}
 
 	// Draw the commit timestamp while holding the write locks and before
@@ -204,37 +201,34 @@ func (tx *Tx) commit() {
 
 	// Validate the read set: every line read must still be at a version no
 	// newer than the snapshot and not locked by another committer.
-	for line := range tx.readLines {
-		lk := tx.eng.lineLock(line)
-		cur := lk.Load()
-		if _, ours := tx.writeLines[line]; ours {
+	for _, line := range tx.readLines.dense {
+		cur := tx.eng.lineLock(line).Load()
+		if tx.writeLines.contains(line) {
 			if versionOf(cur) > tx.readVersion {
-				unlockAll()
+				tx.unlockLines()
 				tx.abort(CauseConflict)
 			}
 			continue
 		}
 		if isLocked(cur) || versionOf(cur) > tx.readVersion {
-			unlockAll()
+			tx.unlockLines()
 			tx.abort(CauseConflict)
 		}
 	}
 
 	// Publish the writes and stamp the written lines with a fresh version.
-	for _, addr := range tx.writeOrder {
-		tx.eng.heap.Store(addr, tx.writes[addr])
+	for i, addr := range tx.writes.addrs {
+		tx.eng.heap.Store(addr, tx.writes.vals[i])
 	}
 	for _, d := range tx.deferred {
-		tx.eng.heap.Store(d.addr, d.compute(writeVersion))
+		tx.eng.heap.Store(d.addr, writeVersion<<d.shift|d.or)
 	}
-	for _, line := range lines {
+	for _, line := range tx.lineBuf {
 		tx.eng.lineLock(line).Store(packVersion(writeVersion))
 	}
 
 	// RTM commit has SFENCE semantics: the committing thread's outstanding
 	// cache-line write-backs are complete once the transaction commits.
 	tx.thread.flusher.Fence()
-	for _, fn := range tx.onCommit {
-		fn(writeVersion)
-	}
+	tx.commitTS = writeVersion
 }

@@ -1,0 +1,260 @@
+package htm
+
+import "crafty/internal/nvm"
+
+// This file implements the purpose-built read/write-set containers behind the
+// emulated hardware transaction data path (see DESIGN.md, "Transaction set
+// containers"). The general-purpose Go map is the wrong tool for that path:
+// it allocates on construction, hashes through an interface-shaped runtime
+// call, and can only be cleared by reallocation or iteration. The containers
+// here are shaped by how the emulation actually uses its sets:
+//
+//   - a transaction attempt begins with empty sets and must become ready for
+//     the next attempt in O(1) (attempts retry in a tight loop on conflict),
+//     so clearing uses an epoch stamp: bumping the epoch invalidates every
+//     table slot at once, and backing storage is reused across attempts;
+//   - nearly all transactions touch a handful of cache lines (Table 1 of the
+//     paper: 2–13 writes per transaction), so membership checks scan a dense
+//     array linearly while the set is small and only spill into an
+//     open-addressed, power-of-two probe table when it grows past
+//     setLinearMax entries;
+//   - commit needs to iterate the set in a stable order (write publication in
+//     program order, line locking in sorted order), so every member is also
+//     kept in a dense insertion-order slice, which doubles as the linear-scan
+//     fast path and as the source for rehashing.
+//
+// Neither container is safe for concurrent use; each belongs to exactly one
+// transaction attempt, which belongs to exactly one thread.
+
+// setLinearMax is the set size up to which membership is resolved by scanning
+// the dense slice; beyond it lookups go through the probe table. Eight
+// entries fit in one cache line of uint64s and cover the common transactions.
+const setLinearMax = 8
+
+// hash64 is the 64-bit finalizer of MurmurHash3; cheap and good enough to
+// keep linear-probe clusters short for line indices and word addresses.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// lineSlot is one probe-table slot of a lineSet. A slot holds a valid entry
+// only if its epoch matches the set's current epoch.
+type lineSlot struct {
+	key   uint64
+	epoch uint64
+}
+
+// lineSet is a reusable set of cache-line indices (the transaction's read set
+// and written-lines set).
+type lineSet struct {
+	dense []uint64 // members in insertion order; also the linear fast path
+	slots []lineSlot
+	mask  uint64
+	epoch uint64
+}
+
+// reset empties the set in O(1), retaining all backing storage. It must be
+// called before first use so that the epoch is nonzero and therefore distinct
+// from the zero epoch of freshly allocated slots.
+func (s *lineSet) reset() {
+	s.epoch++
+	s.dense = s.dense[:0]
+}
+
+// size returns the number of members.
+func (s *lineSet) size() int { return len(s.dense) }
+
+// contains reports whether key is a member.
+func (s *lineSet) contains(key uint64) bool {
+	if len(s.dense) <= setLinearMax {
+		for _, k := range s.dense {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}
+	for i := hash64(key) & s.mask; ; i = (i + 1) & s.mask {
+		sl := &s.slots[i]
+		if sl.epoch != s.epoch {
+			return false
+		}
+		if sl.key == key {
+			return true
+		}
+	}
+}
+
+// add inserts key, reporting whether it was absent.
+func (s *lineSet) add(key uint64) bool {
+	n := len(s.dense)
+	if n <= setLinearMax {
+		for _, k := range s.dense {
+			if k == key {
+				return false
+			}
+		}
+		if n < setLinearMax {
+			s.dense = append(s.dense, key)
+			return true
+		}
+		// Crossing the linear-scan threshold: spill into the probe table.
+		s.rehash()
+	} else if 4*(n+1) > 3*len(s.slots) {
+		s.rehash()
+	}
+	if !s.tableAdd(key) {
+		return false
+	}
+	s.dense = append(s.dense, key)
+	return true
+}
+
+// tableAdd inserts key into the probe table if absent, reporting whether it
+// inserted.
+func (s *lineSet) tableAdd(key uint64) bool {
+	for i := hash64(key) & s.mask; ; i = (i + 1) & s.mask {
+		sl := &s.slots[i]
+		if sl.epoch != s.epoch {
+			sl.key, sl.epoch = key, s.epoch
+			return true
+		}
+		if sl.key == key {
+			return false
+		}
+	}
+}
+
+// rehash (re)builds the probe table from the dense slice, growing it so the
+// load factor stays below 3/4. Bumping the epoch discards the old contents,
+// so the table can be rebuilt in place when capacity already suffices.
+func (s *lineSet) rehash() {
+	need := 2 * (len(s.dense) + 1)
+	capSlots := len(s.slots)
+	if capSlots < 4*setLinearMax {
+		capSlots = 4 * setLinearMax
+	}
+	for capSlots < need {
+		capSlots *= 2
+	}
+	if capSlots > len(s.slots) {
+		s.slots = make([]lineSlot, capSlots)
+		s.mask = uint64(capSlots - 1)
+	}
+	s.epoch++
+	for _, k := range s.dense {
+		s.tableAdd(k)
+	}
+}
+
+// writeSlot is one probe-table slot of a writeSet, mapping a word address to
+// its index in the dense arrays.
+type writeSlot struct {
+	key   nvm.Addr
+	idx   int32
+	epoch uint64
+}
+
+// writeSet is a reusable ordered map from word address to buffered value: the
+// transaction's write set. Insertion order is preserved (addrs/vals), so
+// publishing vals[i] to addrs[i] in order replays the program's stores with
+// later writes to the same address winning via in-place update.
+type writeSet struct {
+	addrs []nvm.Addr // insertion order; also the linear fast path
+	vals  []uint64
+	slots []writeSlot
+	mask  uint64
+	epoch uint64
+}
+
+// reset empties the write set in O(1), retaining all backing storage.
+func (w *writeSet) reset() {
+	w.epoch++
+	w.addrs = w.addrs[:0]
+	w.vals = w.vals[:0]
+}
+
+// size returns the number of distinct buffered addresses.
+func (w *writeSet) size() int { return len(w.addrs) }
+
+// get returns the buffered value for addr, if any.
+func (w *writeSet) get(addr nvm.Addr) (uint64, bool) {
+	if i := w.index(addr); i >= 0 {
+		return w.vals[i], true
+	}
+	return 0, false
+}
+
+// index returns the dense index of addr, or -1.
+func (w *writeSet) index(addr nvm.Addr) int {
+	if len(w.addrs) <= setLinearMax {
+		for i, a := range w.addrs {
+			if a == addr {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := hash64(uint64(addr)) & w.mask; ; i = (i + 1) & w.mask {
+		sl := &w.slots[i]
+		if sl.epoch != w.epoch {
+			return -1
+		}
+		if sl.key == addr {
+			return int(sl.idx)
+		}
+	}
+}
+
+// put buffers val for addr, updating in place if addr was already written.
+func (w *writeSet) put(addr nvm.Addr, val uint64) {
+	if i := w.index(addr); i >= 0 {
+		w.vals[i] = val
+		return
+	}
+	n := len(w.addrs)
+	if n == setLinearMax || (n > setLinearMax && 4*(n+1) > 3*len(w.slots)) {
+		w.rehash()
+	}
+	if n >= setLinearMax {
+		w.tableAdd(addr, int32(n))
+	}
+	w.addrs = append(w.addrs, addr)
+	w.vals = append(w.vals, val)
+}
+
+// tableAdd inserts an address known to be absent into the probe table.
+func (w *writeSet) tableAdd(addr nvm.Addr, idx int32) {
+	for i := hash64(uint64(addr)) & w.mask; ; i = (i + 1) & w.mask {
+		sl := &w.slots[i]
+		if sl.epoch != w.epoch {
+			sl.key, sl.idx, sl.epoch = addr, idx, w.epoch
+			return
+		}
+	}
+}
+
+// rehash (re)builds the probe table from the dense slice; see lineSet.rehash.
+func (w *writeSet) rehash() {
+	need := 2 * (len(w.addrs) + 1)
+	capSlots := len(w.slots)
+	if capSlots < 4*setLinearMax {
+		capSlots = 4 * setLinearMax
+	}
+	for capSlots < need {
+		capSlots *= 2
+	}
+	if capSlots > len(w.slots) {
+		w.slots = make([]writeSlot, capSlots)
+		w.mask = uint64(capSlots - 1)
+	}
+	w.epoch++
+	for i, a := range w.addrs {
+		w.tableAdd(a, int32(i))
+	}
+}

@@ -1,0 +1,182 @@
+package htm
+
+import (
+	"math/rand"
+	"testing"
+
+	"crafty/internal/nvm"
+)
+
+func TestLineSetBasics(t *testing.T) {
+	var s lineSet
+	s.reset()
+	if s.size() != 0 || s.contains(7) {
+		t.Fatal("fresh set not empty")
+	}
+	if !s.add(7) || s.add(7) {
+		t.Fatal("add should report first insertion only")
+	}
+	if !s.contains(7) || s.contains(8) {
+		t.Fatal("membership wrong after one insert")
+	}
+	s.reset()
+	if s.size() != 0 || s.contains(7) {
+		t.Fatal("reset did not empty the set")
+	}
+}
+
+// TestLineSetAcrossLinearThreshold is the regression test for the spill bug:
+// once the set grows past the linear-scan threshold, adds must still detect
+// duplicates (a duplicate dense entry makes the commit protocol deadlock on
+// its own line lock).
+func TestLineSetAcrossLinearThreshold(t *testing.T) {
+	var s lineSet
+	s.reset()
+	const n = 3 * setLinearMax
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			if !s.add(uint64(i * 11)) {
+				t.Fatalf("round %d: add(%d) reported duplicate on first insert", round, i*11)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if s.add(uint64(i * 11)) {
+				t.Fatalf("round %d: duplicate add(%d) reported as new", round, i*11)
+			}
+			if !s.contains(uint64(i * 11)) {
+				t.Fatalf("round %d: member %d not found", round, i*11)
+			}
+		}
+		if s.size() != n {
+			t.Fatalf("round %d: size = %d, want %d", round, s.size(), n)
+		}
+		seen := make(map[uint64]bool)
+		for _, k := range s.dense {
+			if seen[k] {
+				t.Fatalf("round %d: dense slice holds duplicate %d", round, k)
+			}
+			seen[k] = true
+		}
+		s.reset()
+	}
+}
+
+func TestLineSetAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s lineSet
+	for round := 0; round < 50; round++ {
+		s.reset()
+		ref := make(map[uint64]bool)
+		ops := rng.Intn(200)
+		for i := 0; i < ops; i++ {
+			k := uint64(rng.Intn(64))
+			if got, want := s.add(k), !ref[k]; got != want {
+				t.Fatalf("add(%d) = %v, want %v", k, got, want)
+			}
+			ref[k] = true
+			probe := uint64(rng.Intn(64))
+			if got := s.contains(probe); got != ref[probe] {
+				t.Fatalf("contains(%d) = %v, want %v", probe, got, ref[probe])
+			}
+		}
+		if s.size() != len(ref) {
+			t.Fatalf("size = %d, want %d", s.size(), len(ref))
+		}
+	}
+}
+
+func TestWriteSetAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var w writeSet
+	for round := 0; round < 50; round++ {
+		w.reset()
+		ref := make(map[nvm.Addr]uint64)
+		var order []nvm.Addr
+		ops := rng.Intn(200)
+		for i := 0; i < ops; i++ {
+			a := nvm.Addr(1 + rng.Intn(48))
+			v := rng.Uint64()
+			if _, exists := ref[a]; !exists {
+				order = append(order, a)
+			}
+			ref[a] = v
+			w.put(a, v)
+			probe := nvm.Addr(1 + rng.Intn(48))
+			got, ok := w.get(probe)
+			wantV, wantOK := ref[probe]
+			if ok != wantOK || (ok && got != wantV) {
+				t.Fatalf("get(%d) = (%d,%v), want (%d,%v)", probe, got, ok, wantV, wantOK)
+			}
+		}
+		if w.size() != len(ref) {
+			t.Fatalf("size = %d, want %d", w.size(), len(ref))
+		}
+		if len(w.addrs) != len(order) {
+			t.Fatalf("insertion order length %d, want %d", len(w.addrs), len(order))
+		}
+		for i, a := range order {
+			if w.addrs[i] != a {
+				t.Fatalf("insertion order[%d] = %d, want %d", i, w.addrs[i], a)
+			}
+			if w.vals[i] != ref[a] {
+				t.Fatalf("value for %d = %d, want %d (in-place update lost)", a, w.vals[i], ref[a])
+			}
+		}
+	}
+}
+
+// TestTxSteadyStateAllocs is the allocation regression gate for the tentpole:
+// a committed hardware transaction with a handful of writes must not allocate
+// once the thread's reusable state is warm.
+func TestTxSteadyStateAllocs(t *testing.T) {
+	e := newEngine(t, 1<<16, Config{})
+	th := e.NewThread(1)
+	base := e.Heap().MustCarve(8 * nvm.WordsPerLine)
+	body := func(tx *Tx) {
+		for w := 0; w < 8; w++ {
+			addr := base + nvm.Addr(w*nvm.WordsPerLine)
+			tx.Store(addr, tx.Load(addr)+1)
+		}
+	}
+	// Warm up the reusable buffers.
+	for i := 0; i < 10; i++ {
+		if cause := th.Run(body); cause != CauseNone {
+			t.Fatalf("warmup aborted: %v", cause)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if cause := th.Run(body); cause != CauseNone {
+			t.Fatalf("transaction aborted: %v", cause)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state committed transaction allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestTxLargeTransactionAllocsAmortize checks that even transactions past the
+// linear-scan threshold stop allocating once the probe tables have grown.
+func TestTxLargeTransactionAllocsAmortize(t *testing.T) {
+	e := newEngine(t, 1<<18, Config{})
+	th := e.NewThread(1)
+	base := e.Heap().MustCarve(64 * nvm.WordsPerLine)
+	body := func(tx *Tx) {
+		for w := 0; w < 64; w++ {
+			addr := base + nvm.Addr(w*nvm.WordsPerLine)
+			tx.Store(addr, tx.Load(addr)+1)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if cause := th.Run(body); cause != CauseNone {
+			t.Fatalf("warmup aborted: %v", cause)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if cause := th.Run(body); cause != CauseNone {
+			t.Fatalf("transaction aborted: %v", cause)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state 64-line transaction allocated %v times per run, want 0", allocs)
+	}
+}

@@ -106,11 +106,10 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 				next := hwtx.Load(t.eng.dudeClockAddr) + 1
 				hwtx.Store(t.eng.dudeClockAddr, next)
 				commitTS = next
-			} else {
-				// NV-HTM: the timestamp is obtained at the commit point
-				// without touching shared memory inside the transaction.
-				hwtx.OnCommit(func(ts uint64) { commitTS = ts })
 			}
+			// NV-HTM: the timestamp is obtained at the commit point without
+			// touching shared memory inside the transaction; it is read from
+			// the thread after Run returns (htm.Thread.CommitTS).
 		})
 		if userErr != nil {
 			return t.abandon(userErr)
@@ -127,6 +126,9 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 				t.txAlloc.Commit()
 			}
 			return nil
+		}
+		if !t.eng.cfg.GlobalClockInHTM {
+			commitTS = t.hw.CommitTS()
 		}
 		t.persistAndClose(commitTS, ptm.OutcomeHTM)
 		return nil

@@ -64,18 +64,18 @@ func (h *Heap) Crash(policy CrashPolicy) {
 		policy = PersistNone{}
 	}
 	h.crashes.Add(1)
-	h.trackMu.Lock()
-	defer h.trackMu.Unlock()
+	h.crashMu.Lock()
+	defer h.crashMu.Unlock()
 	for w := range h.state {
 		addr := Addr(w)
 		if addr == NilAddr {
 			continue
 		}
-		if h.state[w] != wordClean && policy.Persist(addr) {
-			h.media[w] = h.visible[addr].Load()
+		if h.state[w].Load() != wordClean && policy.Persist(addr) {
+			h.media[w].Store(h.visible[addr].Load())
 		}
-		h.state[w] = wordClean
-		h.visible[addr].Store(h.media[w])
+		h.state[w].Store(wordClean)
+		h.visible[addr].Store(h.media[w].Load())
 	}
 }
 
@@ -86,10 +86,12 @@ func (h *Heap) MediaSnapshot() []uint64 {
 	if !h.cfg.TrackPersistence {
 		panic("nvm: MediaSnapshot requires Config.TrackPersistence")
 	}
-	h.trackMu.Lock()
-	defer h.trackMu.Unlock()
+	h.crashMu.Lock()
+	defer h.crashMu.Unlock()
 	out := make([]uint64, len(h.media))
-	copy(out, h.media)
+	for w := range h.media {
+		out[w] = h.media[w].Load()
+	}
 	return out
 }
 
@@ -99,9 +101,7 @@ func (h *Heap) MediaLoad(addr Addr) uint64 {
 		panic("nvm: MediaLoad requires Config.TrackPersistence")
 	}
 	h.check(addr)
-	h.trackMu.Lock()
-	defer h.trackMu.Unlock()
-	return h.media[addr]
+	return h.media[addr].Load()
 }
 
 // String describes the heap configuration; useful in test failure messages.

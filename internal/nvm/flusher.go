@@ -9,17 +9,15 @@ package nvm
 type Flusher struct {
 	heap *Heap
 	// pending holds the addresses flushed since the last drain/fence; only
-	// used when persistence tracking is enabled.
-	pending map[Addr]struct{}
+	// used when persistence tracking is enabled. It is a reused slice rather
+	// than a set: a word flushed twice before the fence appears twice, and
+	// complete() is idempotent per word.
+	pending []Addr
 }
 
 // NewFlusher returns a flush/drain handle for one thread.
 func (h *Heap) NewFlusher() *Flusher {
-	f := &Flusher{heap: h}
-	if h.cfg.TrackPersistence {
-		f.pending = make(map[Addr]struct{})
-	}
-	return f
+	return &Flusher{heap: h}
 }
 
 // Flush issues a cache-line write-back (CLWB) for the line containing addr.
@@ -33,17 +31,23 @@ func (f *Flusher) Flush(addr Addr) {
 		return
 	}
 	base := LineBase(addr)
-	h.trackMu.Lock()
 	for w := base; w < base+WordsPerLine && int(w) < len(h.visible); w++ {
 		if w == NilAddr {
 			continue
 		}
-		if h.state[w] != wordClean {
-			h.state[w] = wordInFlight
-			f.pending[w] = struct{}{}
+		s := h.state[w].Load()
+		if s == wordClean {
+			continue
 		}
+		if s == wordDirty {
+			// Losing this CAS is benign: the word either became in-flight
+			// through another flusher (we still adopt it below, so our own
+			// fence completes it) or was re-dirtied/cleaned, which the
+			// complete-side CAS resolves conservatively.
+			h.state[w].CompareAndSwap(wordDirty, wordInFlight)
+		}
+		f.pending = append(f.pending, w)
 	}
-	h.trackMu.Unlock()
 }
 
 // FlushRange flushes every cache line overlapping [addr, addr+words).
@@ -83,22 +87,21 @@ func (f *Flusher) Persist(addr Addr, words int) {
 	f.Drain()
 }
 
-// complete applies every pending flush to the media image.
+// complete applies every pending flush to the media image; see
+// Heap.completeWord for the claim-then-write protocol and its memory-ordering
+// argument.
 func (f *Flusher) complete() {
 	h := f.heap
 	if !h.cfg.TrackPersistence || len(f.pending) == 0 {
 		return
 	}
-	h.trackMu.Lock()
-	for w := range f.pending {
-		h.media[w] = h.visible[w].Load()
-		h.state[w] = wordClean
-		delete(f.pending, w)
+	for _, w := range f.pending {
+		h.completeWord(w)
 	}
-	h.trackMu.Unlock()
+	f.pending = f.pending[:0]
 }
 
 // PendingFlushes reports how many flushed-but-not-yet-fenced words this
-// Flusher is tracking. It is only meaningful when persistence tracking is
-// enabled and is exposed for tests.
+// Flusher is tracking (counting a word once per flush). It is only
+// meaningful when persistence tracking is enabled and is exposed for tests.
 func (f *Flusher) PendingFlushes() int { return len(f.pending) }

@@ -78,11 +78,26 @@ type Config struct {
 const NoLatency = time.Duration(-1)
 
 // wordState values for the tracked persistence model.
+//
+// Per-word state lives in an atomic and the Store path is maintained
+// lock-free so that tracked heaps scale with thread count (the paper's
+// experiments run up to 16 workers; a global mutex on every Store made
+// TrackPersistence a scalability cliff). The transitions are:
+//
+//	Store:       any -> dirty            (plain atomic store, no lock)
+//	Flush:       dirty -> inFlight       (CAS; a lost race is benign, see
+//	                                      Flusher.Flush)
+//	Drain/Fence: non-clean -> clean      (claim-then-write under a sharded
+//	                                      lock; see Heap.completeWord)
 const (
 	wordClean    uint32 = iota // media == visible
 	wordDirty                  // stored, not flushed
 	wordInFlight               // flushed, not yet fenced
 )
+
+// numPersistShards is the number of locks media updates are sharded over
+// (indexed by cache line). Power of two.
+const numPersistShards = 64
 
 // Heap is an emulated persistent memory region.
 //
@@ -96,10 +111,15 @@ type Heap struct {
 
 	visible []atomic.Uint64
 
-	// Persistence tracking (only when cfg.TrackPersistence).
-	trackMu sync.Mutex
-	media   []uint64
-	state   []uint32
+	// Persistence tracking (only when cfg.TrackPersistence). The Store path
+	// touches state lock-free (see the wordState documentation); media
+	// updates at drain/fence time serialize per cache line through
+	// persistShards, and crashMu serializes whole-image operations — Crash,
+	// MediaSnapshot — against each other.
+	crashMu       sync.Mutex
+	persistShards [numPersistShards]sync.Mutex
+	media         []atomic.Uint64
+	state         []atomic.Uint32
 
 	// Region carving.
 	carveMu   sync.Mutex
@@ -133,8 +153,8 @@ func NewHeap(cfg Config) *Heap {
 		nextCarve: WordsPerLine, // skip line 0 so NilAddr is never handed out
 	}
 	if cfg.TrackPersistence {
-		h.media = make([]uint64, cfg.Words)
-		h.state = make([]uint32, cfg.Words)
+		h.media = make([]atomic.Uint64, cfg.Words)
+		h.state = make([]atomic.Uint32, cfg.Words)
 	}
 	return h
 }
@@ -170,9 +190,11 @@ func (h *Heap) Store(addr Addr, val uint64) {
 	h.check(addr)
 	h.visible[addr].Store(val)
 	if h.cfg.TrackPersistence {
-		h.trackMu.Lock()
-		h.state[addr] = wordDirty
-		h.trackMu.Unlock()
+		// Order matters: the visible value must be in place before the word
+		// is marked dirty, so a concurrent fence completing an older flush of
+		// this word either sees the dirty mark (and leaves the word
+		// unpersisted) or read the new value into media.
+		h.state[addr].Store(wordDirty)
 	}
 }
 
@@ -183,9 +205,7 @@ func (h *Heap) CompareAndSwap(addr Addr, old, new uint64) bool {
 	h.check(addr)
 	ok := h.visible[addr].CompareAndSwap(old, new)
 	if ok && h.cfg.TrackPersistence {
-		h.trackMu.Lock()
-		h.state[addr] = wordDirty
-		h.trackMu.Unlock()
+		h.state[addr].Store(wordDirty)
 	}
 	return ok
 }
@@ -230,6 +250,43 @@ func (h *Heap) CarvedWords() int {
 	h.carveMu.Lock()
 	defer h.carveMu.Unlock()
 	return int(h.nextCarve)
+}
+
+// completeWord makes one flushed word durable: it moves the word to clean and
+// writes its current visible value to the media image, emulating the cache
+// line's write-back completing at the fence — which absorbs stores issued
+// after the flush, exactly as a real write-back carries whatever the line
+// holds when it drains.
+//
+// The protocol is claim-then-write: the state transition to clean is claimed
+// by CAS *before* the media word is written, so the visible read is ordered
+// after every store whose dirty mark preceded the transition. (Writing media
+// first would be racy: a store between the visible read and the transition
+// would leave the word clean with a stale media value.) A store landing
+// between the claim and the media write re-dirties the word, which is the
+// conservative outcome. Claiming loops rather than giving up on a re-dirtied
+// word because the caller's fence must guarantee that the value it flushed —
+// or a newer one — is durable.
+//
+// The sharded lock serializes completers per cache line: without it, a
+// slower completer could write an older visible value into media after a
+// faster one already claimed clean. Store and Flush take no locks.
+func (h *Heap) completeWord(w Addr) {
+	sh := &h.persistShards[LineOf(w)&(numPersistShards-1)]
+	sh.Lock()
+	for {
+		s := h.state[w].Load()
+		if s == wordClean {
+			// Another completer (same shard lock) already persisted a value
+			// at least as new as our flush-time value.
+			break
+		}
+		if h.state[w].CompareAndSwap(s, wordClean) {
+			h.media[w].Store(h.visible[w].Load())
+			break
+		}
+	}
+	sh.Unlock()
 }
 
 // drainWait charges the emulated NVM round-trip latency. Following the
