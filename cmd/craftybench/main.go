@@ -1,15 +1,20 @@
-// Command craftybench regenerates the Crafty paper's evaluation: the
+// Command craftybench regenerates the Crafty paper's evaluation — the
 // throughput figures (6–8 and the 100 ns sensitivity repeats 22–24), Table 1
 // (persistent writes per transaction), and the appendix's transaction
-// breakdown figures, all over the emulated NVM/HTM substrates.
+// breakdown figures — plus the durable key-value experiments ("kv", "kvfull")
+// that run YCSB-style workloads over the kv subsystem, all over the emulated
+// NVM/HTM substrates.
 //
 // Usage:
 //
 //	craftybench -experiment fig6                # one figure
+//	craftybench -experiment kv                  # YCSB-A/B over the KV store, all engines
+//	craftybench -experiment kvfull              # YCSB A-F (+ uniform A)
 //	craftybench -experiment all -ops 3000       # everything, shorter runs
 //	craftybench -experiment table1
 //	craftybench -experiment breakdowns          # appendix figures 9–21 data
 //	craftybench -experiment fig8 -threads 1,2,4 # override the thread axis
+//	craftybench -experiment kv -json            # machine-readable cells on stdout
 //
 // Absolute throughput is not comparable to the paper's Skylake testbed; the
 // relevant output is the relative shape across engines and thread counts,
@@ -17,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,21 +35,35 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig6", "fig6|fig7|fig8|fig22|fig23|fig24|table1|breakdowns|all")
+		experiment = flag.String("experiment", "fig6", "fig6|fig7|fig8|fig22|fig23|fig24|kv|kvfull|table1|breakdowns|all")
 		ops        = flag.Int("ops", 5000, "operations per thread per measurement")
 		threads    = flag.String("threads", "", "comma-separated thread counts overriding the paper's 1,2,4,8,12,15,16")
 		seed       = flag.Int64("seed", 1, "random seed")
 		verbose    = flag.Bool("v", true, "print per-cell progress")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON on stdout instead of tables")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *ops, *threads, *seed, *verbose); err != nil {
+	if err := run(*experiment, *ops, *threads, *seed, *verbose, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "craftybench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, ops int, threadsFlag string, seed int64, verbose bool) error {
+// jsonCell is one measured point in -json output.
+type jsonCell struct {
+	Figure       string  `json:"figure"`
+	Workload     string  `json:"workload"`
+	Engine       string  `json:"engine"`
+	Threads      int     `json:"threads"`
+	Ops          int     `json:"ops"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	Throughput   float64 `json:"ops_per_sec"`
+	Normalized   float64 `json:"normalized"`
+	WritesPerTxn float64 `json:"writes_per_txn"`
+}
+
+func run(experiment string, ops int, threadsFlag string, seed int64, verbose, jsonOut bool) error {
 	threadAxis, err := parseThreads(threadsFlag)
 	if err != nil {
 		return err
@@ -54,6 +74,7 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose boo
 	}
 
 	figures := harness.Figures()
+	var cells []jsonCell
 	runFigure := func(id string, breakdowns bool) error {
 		fig, ok := figures[id]
 		if !ok {
@@ -66,11 +87,43 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose boo
 		if err != nil {
 			return err
 		}
+		if jsonOut {
+			for _, c := range result.Cells {
+				cells = append(cells, jsonCell{
+					Figure:       fig.ID,
+					Workload:     c.Workload,
+					Engine:       c.Engine,
+					Threads:      c.Threads,
+					Ops:          c.Result.Ops,
+					ElapsedNs:    c.Result.Elapsed.Nanoseconds(),
+					Throughput:   c.Result.Throughput,
+					Normalized:   c.Normalized,
+					WritesPerTxn: c.Result.Stats.WritesPerTxn(),
+				})
+			}
+			return nil
+		}
 		result.WriteTable(os.Stdout)
 		if breakdowns {
 			result.WriteBreakdowns(os.Stdout)
 		}
 		return nil
+	}
+	flush := func() error {
+		if !jsonOut {
+			return nil
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cells)
+	}
+
+	// table1Cells renders Table 1 rows as JSON cells (figure "table1"; only
+	// the workload and writes-per-transaction fields are meaningful).
+	table1Cells := func(rows []harness.Table1Row) {
+		for _, r := range rows {
+			cells = append(cells, jsonCell{Figure: "table1", Workload: r.Workload, WritesPerTxn: r.WritesPerTxn})
+		}
 	}
 
 	switch experiment {
@@ -78,6 +131,10 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose boo
 		rows, err := harness.RunTable1(ops, seed)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			table1Cells(rows)
+			return flush()
 		}
 		harness.WriteTable1(os.Stdout, rows)
 		return nil
@@ -89,7 +146,7 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose boo
 				return err
 			}
 		}
-		return nil
+		return flush()
 	case "all":
 		var ids []string
 		for id := range figures {
@@ -105,10 +162,17 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose boo
 		if err != nil {
 			return err
 		}
-		harness.WriteTable1(os.Stdout, rows)
-		return nil
+		if jsonOut {
+			table1Cells(rows)
+		} else {
+			harness.WriteTable1(os.Stdout, rows)
+		}
+		return flush()
 	default:
-		return runFigure(experiment, false)
+		if err := runFigure(experiment, false); err != nil {
+			return err
+		}
+		return flush()
 	}
 }
 

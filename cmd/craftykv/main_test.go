@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startServer brings a small server up on an ephemeral port.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := newServer(config{
+		Shards:      8,
+		Slots:       64,
+		HeapWords:   1 << 22,
+		ArenaWords:  1 << 20,
+		Pool:        4,
+		PersistProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.serve(l)
+	return l.Addr().String()
+}
+
+// client is a line-oriented test client.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) roundTrip(t *testing.T, req string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		t.Fatalf("%s: %v", req, err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("%s: reading reply: %v", req, err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func (c *client) expect(t *testing.T, req, want string) {
+	t.Helper()
+	if got := c.roundTrip(t, req); got != want {
+		t.Fatalf("%s: got %q, want %q", req, got, want)
+	}
+}
+
+func TestProtocolBasics(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.expect(t, "GET nothing", "NIL")
+	c.expect(t, "PUT greeting hello", "OK")
+	c.expect(t, "GET greeting", "VAL hello")
+	c.expect(t, "PUT greeting goodbye", "OK")
+	c.expect(t, "GET greeting", "VAL goodbye")
+	c.expect(t, "LEN", "LEN 1")
+	c.expect(t, "DEL greeting", "OK")
+	c.expect(t, "DEL greeting", "NIL")
+	c.expect(t, "GET greeting", "NIL")
+	c.expect(t, "BOGUS", `ERR unknown command "BOGUS"`)
+	c.expect(t, "PUT justakey", "ERR usage: PUT <key> <value>")
+	c.expect(t, "QUIT", "BYE")
+}
+
+// TestConcurrentClients exercises several connections writing and reading
+// disjoint key ranges at once.
+func TestConcurrentClients(t *testing.T) {
+	addr := startServer(t)
+	const clients = 6
+	const keys = 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			ask := func(req string) (string, error) {
+				if _, err := fmt.Fprintf(conn, "%s\n", req); err != nil {
+					return "", err
+				}
+				line, err := r.ReadString('\n')
+				return strings.TrimRight(line, "\r\n"), err
+			}
+			for i := 0; i < keys; i++ {
+				if got, err := ask(fmt.Sprintf("PUT c%d-k%d v%d-%d", g, i, g, i)); err != nil || got != "OK" {
+					errCh <- fmt.Errorf("client %d put %d: %q %v", g, i, got, err)
+					return
+				}
+			}
+			for i := 0; i < keys; i++ {
+				want := fmt.Sprintf("VAL v%d-%d", g, i)
+				if got, err := ask(fmt.Sprintf("GET c%d-k%d", g, i)); err != nil || got != want {
+					errCh <- fmt.Errorf("client %d get %d: %q %v", g, i, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+	c.expect(t, "LEN", fmt.Sprintf("LEN %d", clients*keys))
+}
+
+// TestSurvivesRestart is the server's acceptance check: data written and
+// synced before an injected power failure is served intact afterwards, and
+// the restarted server keeps accepting writes. SYNC models the group fsync a
+// durable store performs before acknowledging a barrier; without it,
+// recently committed transactions may legitimately roll back whole (the
+// engine's buffered-durability contract), which TestCrashRollsBackWhole
+// checks separately.
+func TestSurvivesRestart(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	const keys = 80
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("PUT stable-%d value-%d", i, i), "OK")
+	}
+	c.expect(t, "SYNC", "OK")
+
+	reply := c.roundTrip(t, "CRASH")
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("CRASH: %q", reply)
+	}
+	t.Logf("first crash: %s", reply)
+
+	// Same connection, new engine incarnation behind it: all synced data
+	// must be intact.
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("GET stable-%d", i), fmt.Sprintf("VAL value-%d", i))
+	}
+	c.expect(t, "LEN", fmt.Sprintf("LEN %d", keys))
+
+	// The restarted server must keep serving writes, and survive a second
+	// crash the same way.
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("PUT round2-%d v2-%d", i, i), "OK")
+	}
+	c.expect(t, "SYNC", "OK")
+	if reply := c.roundTrip(t, "CRASH"); !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("second CRASH: %q", reply)
+	}
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("GET stable-%d", i), fmt.Sprintf("VAL value-%d", i))
+		c.expect(t, fmt.Sprintf("GET round2-%d", i), fmt.Sprintf("VAL v2-%d", i))
+	}
+}
+
+// TestCrashRollsBackWhole drives unsynced writes into a crash and checks the
+// weaker—but still atomic—guarantee: every key is either at a committed
+// value or absent, never torn, and the index still verifies (the CRASH reply
+// carries the verified entry count).
+func TestCrashRollsBackWhole(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	const keys = 60
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("PUT k%d first-%d", i, i), "OK")
+	}
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("PUT k%d second-%d", i, i), "OK")
+	}
+	reply := c.roundTrip(t, "CRASH")
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("CRASH: %q", reply)
+	}
+	for i := 0; i < keys; i++ {
+		got := c.roundTrip(t, fmt.Sprintf("GET k%d", i))
+		first := fmt.Sprintf("VAL first-%d", i)
+		second := fmt.Sprintf("VAL second-%d", i)
+		if got != first && got != second && got != "NIL" {
+			t.Fatalf("key k%d torn after crash: %q", i, got)
+		}
+	}
+}

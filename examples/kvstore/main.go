@@ -1,7 +1,9 @@
-// Kvstore: a small crash-consistent key-value store built on the Crafty
-// public API. Keys and values are uint64; the store is an open-addressing
-// hash table kept entirely in persistent memory, so every Put is a persistent
-// transaction and the table survives crashes.
+// Kvstore: a crash-consistent key-value store on the Crafty public API,
+// using the durable kv subsystem (crafty.KV): a sharded persistent hash
+// index with variable-length keys and values, deletes, and incremental
+// growth — no fixed capacity and no reserved keys. Every operation is one
+// failure-atomic persistent transaction; after a crash, the engine recovery
+// flow plus crafty.ReopenKV verifies the index and carries on.
 package main
 
 import (
@@ -11,112 +13,102 @@ import (
 	"crafty"
 )
 
-// kvStore is a fixed-capacity open-addressing hash table in persistent
-// memory. Slot layout: two words per slot — key (0 = empty) and value.
-type kvStore struct {
-	heap  *crafty.Heap
-	base  crafty.Addr
-	slots uint64
-}
-
-func newKVStore(heap *crafty.Heap, slots uint64) *kvStore {
-	return &kvStore{heap: heap, base: heap.MustCarve(int(slots) * 2), slots: slots}
-}
-
-func (s *kvStore) slotAddr(i uint64) crafty.Addr { return s.base + crafty.Addr(i*2) }
-
-// put inserts or updates key within the given transaction.
-func (s *kvStore) put(tx crafty.Tx, key, value uint64) error {
-	if key == 0 {
-		return fmt.Errorf("kvstore: key 0 is reserved")
-	}
-	h := key * 0x9e3779b97f4a7c15 % s.slots
-	for probe := uint64(0); probe < s.slots; probe++ {
-		addr := s.slotAddr((h + probe) % s.slots)
-		switch tx.Load(addr) {
-		case 0, key:
-			tx.Store(addr, key)
-			tx.Store(addr+1, value)
-			return nil
-		}
-	}
-	return fmt.Errorf("kvstore: table full")
-}
-
-// get looks key up within the given transaction (0 if absent).
-func (s *kvStore) get(tx crafty.Tx, key uint64) uint64 {
-	h := key * 0x9e3779b97f4a7c15 % s.slots
-	for probe := uint64(0); probe < s.slots; probe++ {
-		addr := s.slotAddr((h + probe) % s.slots)
-		switch tx.Load(addr) {
-		case key:
-			return tx.Load(addr + 1)
-		case 0:
-			return 0
-		}
-	}
-	return 0
-}
-
 func main() {
-	heap := crafty.NewHeap(crafty.HeapConfig{Words: 1 << 20, TrackPersistence: true})
-	eng, err := crafty.New(heap, crafty.Config{})
+	heap := crafty.NewHeap(crafty.HeapConfig{Words: 1 << 22, TrackPersistence: true})
+	eng, err := crafty.New(heap, crafty.Config{ArenaWords: 1 << 20})
 	if err != nil {
 		log.Fatal(err)
 	}
 	layout := eng.Layout()
-	store := newKVStore(heap, 1<<12)
 	th := eng.Register()
 
-	// Each Put is one failure-atomic persistent transaction.
-	for key := uint64(1); key <= 100; key++ {
-		key := key
-		if err := th.Atomic(func(tx crafty.Tx) error {
-			return store.put(tx, key, key*key)
-		}); err != nil {
+	store, err := crafty.NewKV(eng, th, crafty.KVConfig{Shards: 16, InitialSlotsPerShard: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := store.Root() // keep with the heap: ReopenKV needs it after a crash
+
+	// Each Put is one failure-atomic persistent transaction. Keys and values
+	// are arbitrary bytes; tables grow incrementally as the store fills.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user%d", i)
+		val := fmt.Sprintf("profile-%d", i*i)
+		if err := store.Put(th, []byte(key), []byte(val)); err != nil {
 			log.Fatal(err)
 		}
 	}
-
-	var v uint64
-	if err := th.Atomic(func(tx crafty.Tx) error {
-		v = store.get(tx, 12)
-		return nil
-	}); err != nil {
+	// Updates and deletes are transactions too.
+	if err := store.Put(th, []byte("user12"), []byte("updated-profile")); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("value for key 12 before crash:", v)
+	if _, err := store.Delete(th, []byte("user13")); err != nil {
+		log.Fatal(err)
+	}
 
-	// Crash and recover: every committed Put survives or is rolled back as a
-	// whole, so the table never contains a key without its value.
+	v, ok, err := store.Get(th, []byte("user12"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before crash: user12 = %q (present=%v)\n", v, ok)
+
+	// Crash and recover: an adversarial policy decides which unflushed words
+	// reached the media, recovery rolls back every transaction that might be
+	// partially persisted, and ReopenKV verifies the whole index and rebuilds
+	// the allocator from the surviving entries.
 	heap.Crash(crafty.NewRandomCrashPolicy(7, 0.5))
 	report, err := crafty.Recover(heap, layout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng2, err := crafty.Reopen(heap, layout, crafty.Config{})
+	eng2, err := crafty.Reopen(heap, layout, crafty.Config{ArenaWords: 1 << 20})
 	if err != nil {
 		log.Fatal(err)
 	}
 	eng2.AdvanceClock(report.MaxTimestamp)
-	th2 := eng2.Register()
-
-	intact, missing := 0, 0
-	if err := th2.Atomic(func(tx crafty.Tx) error {
-		intact, missing = 0, 0
-		for key := uint64(1); key <= 100; key++ {
-			switch store.get(tx, key) {
-			case key * key:
-				intact++
-			case 0:
-				missing++ // rolled back with its transaction: consistent
-			default:
-				return fmt.Errorf("kvstore: key %d has a torn value", key)
-			}
-		}
-		return nil
-	}); err != nil {
+	store2, err := crafty.ReopenKV(eng2, root)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after crash + recovery: %d keys intact, %d rolled back, 0 torn\n", intact, missing)
+	th2 := eng2.Register()
+
+	// Every committed Put survives or is rolled back as a whole: a key holds
+	// a value it was actually given, or is absent — never a torn mix.
+	intact, rolledBack := 0, 0
+	for i := 0; i < 500; i++ {
+		if i == 13 {
+			continue // deleted above
+		}
+		key := fmt.Sprintf("user%d", i)
+		want := fmt.Sprintf("profile-%d", i*i)
+		if i == 12 {
+			want = "updated-profile"
+		}
+		v, ok, err := store2.Get(th2, []byte(key), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case !ok:
+			rolledBack++ // the insert rolled back with its transaction
+		case string(v) == want:
+			intact++
+		case i == 12 && string(v) == "profile-144":
+			rolledBack++ // the update rolled back to the insert's value
+		default:
+			log.Fatalf("key %s has a torn value %q", key, v)
+		}
+	}
+	rep, err := store2.Verify(heap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash + recovery: %d keys intact, %d rolled back, 0 torn; index verified (%d entries, %d shards mid-rehash)\n",
+		intact, rolledBack, rep.Entries, rep.Rehashing)
+
+	// The reopened store keeps serving.
+	if err := store2.Put(th2, []byte("post-crash"), []byte("still-writable")); err != nil {
+		log.Fatal(err)
+	}
+	v, _, _ = store2.Get(th2, []byte("post-crash"), nil)
+	fmt.Printf("post-crash write: %q\n", v)
 }

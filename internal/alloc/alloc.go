@@ -39,10 +39,11 @@ type Arena struct {
 	base  nvm.Addr
 	words int
 
-	mu    sync.Mutex
-	next  nvm.Addr
-	free  map[int][]nvm.Addr // size class (in words, line-rounded) -> free blocks
-	sizes map[nvm.Addr]int   // outstanding block sizes, for Free without a size
+	mu     sync.Mutex
+	next   nvm.Addr
+	free   map[int][]nvm.Addr // size class (in words, line-rounded) -> free blocks
+	sizes  map[nvm.Addr]int   // outstanding block sizes, for Free without a size
+	noZero bool               // skip the zero fill on Alloc (see SetZeroFill)
 }
 
 // NewArena creates an allocator over the region [base, base+words) of heap,
@@ -119,9 +120,24 @@ func (a *Arena) MustAlloc(words int) nvm.Addr {
 // transaction: freshly allocated memory is private to the allocating
 // transaction until it publishes an address reaching it.
 func (a *Arena) zero(addr nvm.Addr, words int) {
+	if a.noZero {
+		return
+	}
 	for w := addr; w < addr+nvm.Addr(words); w++ {
 		a.heap.Store(w, 0)
 	}
+}
+
+// SetZeroFill controls whether Alloc zero fills blocks (the default). A data
+// structure that transactionally writes every word it later reads — the kv
+// store does — can disable it: besides saving the fill, this is what makes
+// block reuse recoverable, because the non-transactional zero fill would
+// otherwise overwrite the pre-images that post-crash rollback of the reusing
+// transaction must restore (see DESIGN.md, "Durable key-value store").
+func (a *Arena) SetZeroFill(enabled bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.noZero = !enabled
 }
 
 // Free returns a block to the arena. Freeing an address that is not currently
@@ -135,6 +151,37 @@ func (a *Arena) Free(addr nvm.Addr) {
 	}
 	delete(a.sizes, addr)
 	a.free[class] = append(a.free[class], addr)
+}
+
+// Adopt marks the block [addr, addr+sizeClass(words)) as allocated in a
+// freshly constructed arena, so that a recovery pass can rebuild the
+// allocator's volatile state from blocks still reachable through persistent
+// data structures (allocator metadata itself is volatile; see the package
+// comment). Adoption only moves the bump pointer forward: words between
+// adopted blocks that were free at the crash are not returned to the free
+// lists and are leaked until the next full rebuild, a bounded cost DESIGN.md
+// discusses.
+func (a *Arena) Adopt(addr nvm.Addr, words int) error {
+	if words <= 0 {
+		return fmt.Errorf("alloc: adopt of invalid size %d", words)
+	}
+	class := sizeClass(words)
+	if addr < a.base || int(addr-a.base)+class > a.words {
+		return fmt.Errorf("alloc: adopted block [%d,+%d) outside arena [%d,+%d)", addr, class, a.base, a.words)
+	}
+	if addr%nvm.WordsPerLine != 0 {
+		return fmt.Errorf("alloc: adopted block %d is not line aligned", addr)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.sizes[addr]; ok {
+		return fmt.Errorf("alloc: block %d adopted twice (sizes %d and %d)", addr, prev, class)
+	}
+	a.sizes[addr] = class
+	if end := addr + nvm.Addr(class); end > a.next {
+		a.next = end
+	}
+	return nil
 }
 
 // Live reports how many blocks are currently allocated.

@@ -55,7 +55,7 @@ func TestAllocZeroesRecycledBlocks(t *testing.T) {
 func heapOf(a *Arena) *nvm.Heap { return a.heap }
 
 func TestAllocInvalidAndExhausted(t *testing.T) {
-	a := newArena(t, 2 * nvm.WordsPerLine)
+	a := newArena(t, 2*nvm.WordsPerLine)
 	if _, err := a.Alloc(0); err == nil {
 		t.Fatal("expected error for zero-size allocation")
 	}
@@ -70,6 +70,68 @@ func TestAllocInvalidAndExhausted(t *testing.T) {
 	}
 	if _, err := a.Alloc(1); err == nil {
 		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestSetZeroFillDisablesZeroing(t *testing.T) {
+	a := newArena(t, 1024)
+	a.SetZeroFill(false)
+	addr, _ := a.Alloc(4)
+	heapOf(a).Store(addr, 999)
+	a.Free(addr)
+	again, _ := a.Alloc(4)
+	if again != addr {
+		t.Fatalf("free list did not recycle block: got %d, want %d", again, addr)
+	}
+	if got := heapOf(a).Load(again); got != 999 {
+		t.Fatalf("recycled block was zeroed with zero fill disabled: %d", got)
+	}
+}
+
+func TestAdoptRebuildsAllocatorState(t *testing.T) {
+	h := nvm.NewHeap(nvm.Config{Words: 4096 + 64, PersistLatency: nvm.NoLatency})
+	base := h.MustCarve(4096)
+	before := NewArena(h, base, 4096)
+	first, _ := before.Alloc(8)
+	second, _ := before.Alloc(16)
+	third, _ := before.Alloc(8)
+	before.Free(second) // a hole: freed before the "crash", leaked after
+
+	// A fresh arena over the same region, as core.Open builds after a crash.
+	after := NewArena(h, base, 4096)
+	for _, b := range []struct {
+		addr  nvm.Addr
+		words int
+	}{{first, 8}, {third, 8}} {
+		if err := after.Adopt(b.addr, b.words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", after.Live())
+	}
+	// New allocations must land past every adopted block.
+	fresh, err := after.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh <= third {
+		t.Fatalf("fresh allocation %d overlaps adopted blocks (max %d)", fresh, third)
+	}
+	// Adopted blocks free normally.
+	after.Free(first)
+	if reused, _ := after.Alloc(8); reused != first {
+		t.Fatalf("freed adopted block not recycled: got %d, want %d", reused, first)
+	}
+
+	if err := after.Adopt(third, 8); err == nil {
+		t.Fatal("double adoption accepted")
+	}
+	if err := after.Adopt(base+4096*2, 8); err == nil {
+		t.Fatal("adoption outside the arena accepted")
+	}
+	if err := after.Adopt(third+1, 8); err == nil {
+		t.Fatal("unaligned adoption accepted")
 	}
 }
 

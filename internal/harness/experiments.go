@@ -13,6 +13,7 @@ import (
 	"crafty/internal/workloads/bank"
 	"crafty/internal/workloads/btree"
 	"crafty/internal/workloads/stamp"
+	"crafty/internal/workloads/ycsb"
 )
 
 // WorkloadFactory builds a workload instance for a given thread count (some
@@ -70,9 +71,30 @@ func stampFactories() []WorkloadFactory {
 	}
 }
 
+// KVEngines is the engine set the KV experiments run over: every paper
+// configuration plus the classic logging designs, per the durable-KV
+// experiment plan (the Crafty ablation variants are covered by the paper
+// figures and omitted here to keep the grid tractable).
+var KVEngines = []EngineKind{NonDurable, DudeTM, NVHTM, Crafty, UndoLog, RedoLog}
+
+// ycsbFactory builds a YCSB workload factory for one mix.
+func ycsbFactory(mix ycsb.Mix, uniform bool) WorkloadFactory {
+	label := fmt.Sprintf("ycsb/%s", mix)
+	if uniform {
+		label += "-uniform"
+	}
+	return WorkloadFactory{
+		Label: label,
+		New: func(threads int) workloads.Workload {
+			return ycsb.New(ycsb.Config{Mix: mix, Uniform: uniform, Records: 8192, Threads: threads})
+		},
+	}
+}
+
 // Figures returns the full set of throughput experiments keyed by the paper's
-// figure numbers. Figures 22–24 are the 100 ns latency sensitivity repeats of
-// Figures 6–8.
+// figure numbers, plus the durable key-value experiments ("kv", "kvfull")
+// added on top of the paper's grid. Figures 22–24 are the 100 ns latency
+// sensitivity repeats of Figures 6–8.
 func Figures() map[string]Figure {
 	figs := map[string]Figure{
 		"fig6": {
@@ -105,6 +127,33 @@ func Figures() map[string]Figure {
 			Engines:   PaperEngines,
 			Threads:   DefaultThreads,
 			Latency:   300 * time.Nanosecond,
+		},
+		"kv": {
+			ID:    "kv",
+			Title: "KV: YCSB-style workloads over the durable key-value store (300 ns)",
+			Workloads: []WorkloadFactory{
+				ycsbFactory(ycsb.A, false),
+				ycsbFactory(ycsb.B, false),
+			},
+			Engines: KVEngines,
+			Threads: DefaultThreads,
+			Latency: 300 * time.Nanosecond,
+		},
+		"kvfull": {
+			ID:    "kvfull",
+			Title: "KV (full): YCSB A-F plus uniform-A over the durable key-value store (300 ns)",
+			Workloads: []WorkloadFactory{
+				ycsbFactory(ycsb.A, false),
+				ycsbFactory(ycsb.A, true),
+				ycsbFactory(ycsb.B, false),
+				ycsbFactory(ycsb.C, false),
+				ycsbFactory(ycsb.D, false),
+				ycsbFactory(ycsb.E, false),
+				ycsbFactory(ycsb.F, false),
+			},
+			Engines: KVEngines,
+			Threads: DefaultThreads,
+			Latency: 300 * time.Nanosecond,
 		},
 	}
 	for src, dst := range map[string]string{"fig6": "fig22", "fig7": "fig23", "fig8": "fig24"} {
@@ -254,6 +303,7 @@ func RunTable1(opsPerThread int, seed int64) ([]Table1Row, error) {
 		btreeFactory(btree.Mixed),
 	}
 	factories = append(factories, stampFactories()...)
+	factories = append(factories, ycsbFactory(ycsb.A, false))
 	var rows []Table1Row
 	for _, wf := range factories {
 		res, err := Run(Crafty, wf.New(1), Options{

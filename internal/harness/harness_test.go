@@ -12,6 +12,7 @@ import (
 	"crafty/internal/workloads/bank"
 	"crafty/internal/workloads/btree"
 	"crafty/internal/workloads/stamp"
+	"crafty/internal/workloads/ycsb"
 )
 
 // quick runs a workload briefly on an engine with no emulated latency and
@@ -104,6 +105,32 @@ func TestWritesPerTransactionMatchTable1Shape(t *testing.T) {
 	}
 }
 
+// TestYCSBOverAllKVEngines is the acceptance check for the durable KV
+// subsystem: YCSB-A and YCSB-B run over every engine in the KV experiment
+// grid, multi-threaded, with the driver's index verification as the
+// integrity check.
+func TestYCSBOverAllKVEngines(t *testing.T) {
+	for _, eng := range KVEngines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			for _, mix := range []ycsb.Mix{ycsb.A, ycsb.B} {
+				wl := ycsb.New(ycsb.Config{Mix: mix, Records: 512, Shards: 8, Threads: 2})
+				quick(t, eng, wl, 2, 150)
+			}
+		})
+	}
+}
+
+// TestYCSBInsertMixesMultithreaded regresses the insert-id race: workload
+// D's "latest" readers chase ids whose insert transactions may not have
+// committed yet, which must read as a tolerated miss, not an error.
+func TestYCSBInsertMixesMultithreaded(t *testing.T) {
+	for _, mix := range []ycsb.Mix{ycsb.D, ycsb.E} {
+		wl := ycsb.New(ycsb.Config{Mix: mix, Records: 512, Shards: 8, Threads: 8})
+		quick(t, Crafty, wl, 8, 250)
+	}
+}
+
 func TestEngineKindRoundTrip(t *testing.T) {
 	for k := NonDurable; k <= RedoLog; k++ {
 		parsed, err := ParseEngine(k.String())
@@ -118,7 +145,7 @@ func TestEngineKindRoundTrip(t *testing.T) {
 
 func TestFiguresAreComplete(t *testing.T) {
 	figs := Figures()
-	for _, id := range []string{"fig6", "fig7", "fig8", "fig22", "fig23", "fig24"} {
+	for _, id := range []string{"fig6", "fig7", "fig8", "fig22", "fig23", "fig24", "kv", "kvfull"} {
 		fig, ok := figs[id]
 		if !ok {
 			t.Fatalf("missing figure %s", id)
@@ -166,13 +193,15 @@ func TestTable1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 13 {
-		t.Fatalf("Table 1 has %d rows, want 13", len(rows))
+	if len(rows) != 14 {
+		t.Fatalf("Table 1 has %d rows, want 14", len(rows))
 	}
 	var buf bytes.Buffer
 	WriteTable1(&buf, rows)
-	if !strings.Contains(buf.String(), "bank/high") {
-		t.Fatal("Table 1 rendering incomplete")
+	for _, label := range []string{"bank/high", "ycsb/a"} {
+		if !strings.Contains(buf.String(), label) {
+			t.Fatalf("Table 1 rendering missing %s", label)
+		}
 	}
 }
 

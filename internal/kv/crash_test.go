@@ -1,0 +1,248 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crafty/internal/core"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// TestCrashRecovery is the store's end-to-end crash-consistency proof: a
+// multi-threaded mixed workload (inserts, versioned updates, deletes) runs
+// over Crafty with persistence tracking on, a crash is injected with an
+// adversarial random policy (each unflushed word survives with probability
+// 0.5, maximizing torn multi-word state), engine recovery rolls the heap back
+// to a consistent cut, and Reopen must then verify the whole index. Every
+// surviving value must be one the workload actually wrote for that key —
+// never a torn mix — and the reopened store must keep serving operations.
+func TestCrashRecovery(t *testing.T) {
+	for _, persistProb := range []float64{0.0, 0.5, 1.0} {
+		persistProb := persistProb
+		t.Run(fmt.Sprintf("persist=%.1f", persistProb), func(t *testing.T) {
+			testCrashRecovery(t, persistProb)
+		})
+	}
+}
+
+func testCrashRecovery(t *testing.T, persistProb float64) {
+	heap := nvm.NewHeap(nvm.Config{
+		Words:            1 << 23,
+		PersistLatency:   nvm.NoLatency,
+		TrackPersistence: true,
+	})
+	cfg := core.Config{ArenaWords: 1 << 21}
+	eng, err := core.NewEngine(heap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := eng.Layout()
+	setup := eng.Register()
+	s, err := Create(eng, setup, Config{Shards: 8, InitialSlotsPerShard: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each worker owns a disjoint key range and records every value it
+	// committed per key; small tables force rehashes mid-run so the crash can
+	// land inside the rehash protocol too.
+	const workers = 3
+	const keysPerWorker = 120
+	const opsPerWorker = 900
+	written := make([]map[int][]string, workers) // key index -> committed values, in order
+	deleted := make([]map[int]bool, workers)     // last committed op was a delete
+	threads := make([]ptm.Thread, workers)
+	threads[0] = setup
+	for w := 1; w < workers; w++ {
+		threads[w] = eng.Register()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		written[w] = make(map[int][]string)
+		deleted[w] = make(map[int]bool)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			th := threads[w]
+			for op := 0; op < opsPerWorker; op++ {
+				k := rng.Intn(keysPerWorker)
+				key := []byte(fmt.Sprintf("w%d-key%d", w, k))
+				if rng.Intn(10) == 0 {
+					if _, err := s.Delete(th, key); err != nil {
+						errs[w] = err
+						return
+					}
+					deleted[w][k] = true
+					continue
+				}
+				val := fmt.Sprintf("w%d-key%d-v%d", w, k, op)
+				if err := s.Put(th, key, []byte(val)); err != nil {
+					errs[w] = err
+					return
+				}
+				written[w][k] = append(written[w][k], val)
+				deleted[w][k] = false
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+
+	// Power failure: the adversary decides which unflushed words reached
+	// media, then the engine-level recovery rolls back every sequence that
+	// might correspond to partially persisted writes.
+	root := s.Root()
+	heap.Crash(nvm.NewRandomPolicy(42, persistProb))
+	report, err := core.Recover(heap, layout)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	eng2, err := core.Open(heap, layout, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	eng2.AdvanceClock(report.MaxTimestamp)
+
+	// Reopen verifies the whole index and rebuilds the allocator.
+	s2, err := Reopen(eng2, root)
+	if err != nil {
+		t.Fatalf("reopen after crash (recovery rolled back %d sequences): %v",
+			report.SequencesRolledBack, err)
+	}
+
+	// Every surviving value must be one that was actually committed for its
+	// key: recovery may roll back whole recent transactions (restoring an
+	// older value or removing an inserted key) but must never tear one.
+	th2 := eng2.Register()
+	var intact, rolledBack int
+	for w := 0; w < workers; w++ {
+		for k := 0; k < keysPerWorker; k++ {
+			key := []byte(fmt.Sprintf("w%d-key%d", w, k))
+			v, ok, err := s2.Get(th2, key, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			history := written[w][k]
+			if !ok {
+				// Absent is consistent: never inserted, deleted, or every
+				// insert rolled back.
+				rolledBack++
+				continue
+			}
+			found := false
+			for _, h := range history {
+				if h == string(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("key %s holds %q, which was never committed (history %v)", key, v, history)
+			}
+			if len(history) > 0 && string(v) == history[len(history)-1] && !deleted[w][k] {
+				intact++
+			} else {
+				rolledBack++
+			}
+		}
+	}
+	t.Logf("persist=%.1f: %d sequences rolled back by recovery; %d keys at last value, %d rolled back/absent",
+		persistProb, report.SequencesRolledBack, intact, rolledBack)
+
+	// The reopened store must keep working: new inserts, updates of
+	// survivors, deletes, and a final verify.
+	for i := 0; i < 200; i++ {
+		if err := s2.Put(th2, []byte(fmt.Sprintf("post-%d", i)), []byte(fmt.Sprintf("pv%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		v, ok, err := s2.Get(th2, []byte(fmt.Sprintf("post-%d", i)), nil)
+		if err != nil || !ok || string(v) != fmt.Sprintf("pv%d", i) {
+			t.Fatalf("post-crash insert %d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	if _, err := s2.Verify(heap); err != nil {
+		t.Fatalf("final verify: %v", err)
+	}
+}
+
+// TestCrashDuringLoad crashes while a single thread is mid-bulk-load, which
+// exercises recovery landing inside the zeroing and migration phases of the
+// incremental rehash with high probability.
+func TestCrashDuringLoad(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			heap := nvm.NewHeap(nvm.Config{
+				Words:            1 << 22,
+				PersistLatency:   nvm.NoLatency,
+				TrackPersistence: true,
+			})
+			cfg := core.Config{ArenaWords: 1 << 20}
+			eng, err := core.NewEngine(heap, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layout := eng.Layout()
+			th := eng.Register()
+			s, err := Create(eng, th, Config{Shards: 1, InitialSlotsPerShard: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Stop at a load count chosen to sit near a table doubling.
+			stop := 12*int(seed) + 380
+			for i := 0; i < stop; i++ {
+				if err := s.Put(th, []byte(fmt.Sprintf("load-%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			root := s.Root()
+			heap.Crash(nvm.NewRandomPolicy(seed, 0.5))
+			report, err := core.Recover(heap, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng2, err := core.Open(heap, layout, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng2.Close()
+			eng2.AdvanceClock(report.MaxTimestamp)
+			s2, err := Reopen(eng2, root)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			// The surviving prefix must be contiguous in effect: each key is
+			// either at its (only) written value or absent, and the store
+			// still loads the rest.
+			th2 := eng2.Register()
+			for i := 0; i < stop; i++ {
+				key := []byte(fmt.Sprintf("load-%d", i))
+				v, ok, err := s2.Get(th2, key, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok && string(v) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %s torn: %q", key, v)
+				}
+				if err := s2.Put(th2, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s2.Verify(heap); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,563 @@
+// Package kv implements a concurrent, crash-consistent key-value store
+// programmed entirely against the engine-neutral ptm interface, so the same
+// store runs unchanged over Crafty, its variants, NV-HTM, DudeTM, the
+// non-durable baseline, and the classic logging engines.
+//
+// The index is a sharded open-addressing hash table kept entirely in
+// persistent memory. Sharding keeps each transaction's HTM read/write sets
+// small and confines conflicts to keys that hash to the same shard, which is
+// what lets throughput scale with threads under skewed (YCSB-style) traffic.
+// Values are variable length: each entry owns a block carved from the
+// engine's allocation arena through Tx.Alloc, whose replayable TxLog protocol
+// (internal/alloc) makes allocation safe under Crafty's re-executing phases.
+// Deletes tombstone their slot, and each shard rehashes incrementally — a
+// bounded batch of work per mutating operation — when its load factor is
+// exceeded, so no single transaction ever grows beyond the HTM capacity or a
+// logging engine's log budget. See DESIGN.md ("Durable key-value store") for
+// the full protocol.
+//
+// Every word the store ever reads is written through a transaction, so after
+// a crash the index is exactly the committed prefix of operations: recovery
+// is the engine's (e.g. crafty.Recover), after which Reopen verifies the
+// index and rebuilds the volatile allocator state from the blocks still
+// reachable through it.
+package kv
+
+import (
+	"fmt"
+
+	"crafty/internal/alloc"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// Persistent layout.
+//
+// Root region (carved once by Create):
+//
+//	line 0:             magic, version, shards, initial slots per shard
+//	lines 1..2*shards:  shard headers, two cache lines each
+//
+// Shard header (2 lines). The first line is read-mostly (rewritten only at
+// rehash state transitions) and the second is write-hot (counters and
+// cursors), so read-only lookups never take a cache-line conflict against
+// concurrent counter updates in the same shard:
+//
+//	line 0: active table addr, active slots, old table addr, old slots,
+//	        pending table addr, pending slots
+//	line 1: live entries, used slots (live + tombstones, active table),
+//	        zeroing cursor (words), migration cursor (old-table slots)
+//
+// Hash tables are arrays of two-word slots: a tag word (0 = empty,
+// 1 = tombstone, else the key's fingerprint with bit 63 forced) and the
+// address of the entry's block. Blocks hold one header word packing the key
+// and value lengths, then the key bytes and value bytes, eight per word.
+const (
+	magicWord = 0x6b76634653544f52 // "kvcFSTOR"
+	version   = 1
+
+	offMagic        = 0
+	offVersion      = 1
+	offShards       = 2
+	offInitialSlots = 3
+
+	// Shard header word offsets (within the shard's two-line region).
+	shTable        = 0
+	shSlots        = 1
+	shOld          = 2
+	shOldSlots     = 3
+	shPending      = 4
+	shPendingSlots = 5
+	shLive         = 8
+	shUsed         = 9
+	shZeroCursor   = 10
+	shMigrate      = 11
+
+	shardHeaderWords = 2 * nvm.WordsPerLine
+
+	slotWords    = 2
+	tagEmpty     = 0
+	tagTombstone = 1
+	fpBit        = uint64(1) << 63
+
+	// Load factor threshold: a shard starts rehashing when more than
+	// loadNum/loadDen of its active slots are used (live + tombstones).
+	loadNum, loadDen = 3, 4
+
+	// zeroBatchWords bounds how many pending-table words one mutating
+	// operation zeroes; migrateBatch bounds how many live entries it moves.
+	// Both keep every transaction within the emulated HTM's write capacity
+	// (512 lines) and the logging engines' per-transaction log budgets.
+	zeroBatchWords = 256
+	migrateBatch   = 16
+)
+
+// Config sizes a store at creation.
+type Config struct {
+	// Shards is the number of index shards (power of two). More shards mean
+	// smaller per-transaction footprints and fewer cross-thread conflicts.
+	// Default 64.
+	Shards int
+	// InitialSlotsPerShard is each shard's starting table size in slots
+	// (power of two, minimum 16). Default 64. Size it near
+	// 2*expectedKeys/Shards to avoid any rehash during steady state.
+	InitialSlotsPerShard int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 64
+	}
+	if c.InitialSlotsPerShard == 0 {
+		c.InitialSlotsPerShard = 64
+	}
+	if c.Shards&(c.Shards-1) != 0 || c.Shards < 1 {
+		return c, fmt.Errorf("kv: Shards %d is not a power of two", c.Shards)
+	}
+	if c.InitialSlotsPerShard&(c.InitialSlotsPerShard-1) != 0 || c.InitialSlotsPerShard < 16 {
+		return c, fmt.Errorf("kv: InitialSlotsPerShard %d is not a power of two >= 16", c.InitialSlotsPerShard)
+	}
+	return c, nil
+}
+
+// Store is a durable key-value store over one engine's heap. The volatile
+// struct only caches immutable facts (the root address and shard count); all
+// mutable state is persistent, so a Store can be re-materialized from its
+// root address after a crash with Reopen.
+type Store struct {
+	root   nvm.Addr
+	shards int
+}
+
+// arenaOf returns eng's allocation arena if the engine exposes one (every
+// engine in this repository does).
+func arenaOf(eng ptm.Engine) *alloc.Arena {
+	if h, ok := eng.(interface{ Arena() *alloc.Arena }); ok {
+		return h.Arena()
+	}
+	return nil
+}
+
+// prepareArena turns off the arena's zero fill: the store transactionally
+// writes every word it later reads, and the non-transactional fill would
+// destroy the pre-images that post-crash rollback needs to restore reused
+// blocks (see DESIGN.md).
+func prepareArena(eng ptm.Engine) {
+	if a := arenaOf(eng); a != nil {
+		a.SetZeroFill(false)
+	}
+}
+
+// Create carves and initializes a new store on eng's heap, using th to run
+// the initialization transactions. Creation is not itself failure atomic
+// (like a mkfs, it must run to completion before the store exists); the magic
+// word is written last, so Reopen detects an interrupted Create.
+func Create(eng ptm.Engine, th ptm.Thread, cfg Config) (*Store, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	prepareArena(eng)
+	root, err := eng.Heap().Carve((1 + 2*cfg.Shards) * nvm.WordsPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("kv: carving root region: %w", err)
+	}
+	s := &Store{root: root, shards: cfg.Shards}
+	for sh := 0; sh < cfg.Shards; sh++ {
+		hdr := s.shardHeader(sh)
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			table := tx.Alloc(cfg.InitialSlotsPerShard * slotWords)
+			tx.Store(hdr+shTable, uint64(table))
+			tx.Store(hdr+shSlots, uint64(cfg.InitialSlotsPerShard))
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("kv: initializing shard %d: %w", sh, err)
+		}
+		// Zero the table transactionally, in batches: the arena's own zeroing
+		// is not transactional, so only words written through a Tx are
+		// guaranteed to read back as written after a crash.
+		if err := s.zeroRegion(th, nvm.Addr(mustLoad(th, hdr+shTable)), cfg.InitialSlotsPerShard*slotWords); err != nil {
+			return nil, err
+		}
+	}
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(root+offVersion, version)
+		tx.Store(root+offShards, uint64(cfg.Shards))
+		tx.Store(root+offInitialSlots, uint64(cfg.InitialSlotsPerShard))
+		tx.Store(root+offMagic, magicWord)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reopen re-materializes a store from its root address after the engine-level
+// recovery has run (e.g. crafty.Recover followed by crafty.Reopen). It
+// verifies the whole index and rebuilds the engine arena's volatile
+// allocation state by adopting every block still reachable from the index;
+// eng must therefore expose its arena (core.Engine does).
+func Reopen(eng ptm.Engine, root nvm.Addr) (*Store, error) {
+	heap := eng.Heap()
+	if got := heap.Load(root + offMagic); got != magicWord {
+		return nil, fmt.Errorf("kv: no store at %d (magic %#x)", root, got)
+	}
+	if got := heap.Load(root + offVersion); got != version {
+		return nil, fmt.Errorf("kv: store version %d, want %d", heap.Load(root+offVersion), version)
+	}
+	s := &Store{root: root, shards: int(heap.Load(root + offShards))}
+	if s.shards < 1 || s.shards&(s.shards-1) != 0 {
+		return nil, fmt.Errorf("kv: corrupt shard count %d", s.shards)
+	}
+	if _, err := s.Verify(heap); err != nil {
+		return nil, err
+	}
+	arena := arenaOf(eng)
+	if arena == nil {
+		return nil, fmt.Errorf("kv: engine %s does not expose an allocation arena to rebuild", eng.Name())
+	}
+	if err := s.adoptBlocks(heap, arena); err != nil {
+		return nil, err
+	}
+	prepareArena(eng)
+	return s, nil
+}
+
+// Root returns the store's root address; keep it with the heap (alongside the
+// engine layout) so the store can be found again after a crash.
+func (s *Store) Root() nvm.Addr { return s.root }
+
+// Shards returns the number of index shards.
+func (s *Store) Shards() int { return s.shards }
+
+func (s *Store) shardHeader(sh int) nvm.Addr {
+	return s.root + nvm.WordsPerLine + nvm.Addr(sh*shardHeaderWords)
+}
+
+// hashKey mixes the key bytes (FNV-1a) through a 64-bit finalizer so that
+// both the shard choice (low bits) and the slot choice (higher bits) are
+// well distributed.
+func hashKey(key []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// fingerprint is the slot tag for a hash: bit 63 forced so it never collides
+// with the empty (0) or tombstone (1) markers. Slot indices are taken from
+// bits below 63, so the fingerprint alone can re-derive an entry's probe
+// sequence during migration.
+func fingerprint(h uint64) uint64 { return h | fpBit }
+
+func (s *Store) shardOf(h uint64) int { return int(h & uint64(s.shards-1)) }
+
+// slotStart returns the probe start index for hash h in a table of the given
+// size. It uses bits above the shard index and below bit 63.
+func (s *Store) slotStart(h uint64, slots uint64) uint64 {
+	shardBits := 0
+	for 1<<shardBits < s.shards {
+		shardBits++
+	}
+	return (h >> uint(shardBits)) & (slots - 1)
+}
+
+// Entry block layout helpers. The header word packs the key length in its
+// upper 32 bits and the value length in its lower 32 bits; key bytes and then
+// value bytes follow, eight per word, zero padded.
+func blockWords(keyLen, valLen int) int {
+	return 1 + (keyLen+7)/8 + (valLen+7)/8
+}
+
+func packHeader(keyLen, valLen int) uint64 {
+	return uint64(keyLen)<<32 | uint64(valLen)
+}
+
+func unpackHeader(w uint64) (keyLen, valLen int) {
+	return int(w >> 32), int(w & 0xffffffff)
+}
+
+// storeBytes writes b into consecutive words at base, eight bytes per word,
+// little endian, zero padding the final word.
+func storeBytes(tx ptm.Tx, base nvm.Addr, b []byte) {
+	for w := 0; w*8 < len(b); w++ {
+		var v uint64
+		for i := 0; i < 8 && w*8+i < len(b); i++ {
+			v |= uint64(b[w*8+i]) << (8 * i)
+		}
+		tx.Store(base+nvm.Addr(w), v)
+	}
+}
+
+// appendBytes appends n bytes stored at base to dst and returns it.
+func appendBytes(tx ptm.Tx, base nvm.Addr, n int, dst []byte) []byte {
+	for w := 0; w*8 < n; w++ {
+		v := tx.Load(base + nvm.Addr(w))
+		for i := 0; i < 8 && w*8+i < n; i++ {
+			dst = append(dst, byte(v>>(8*i)))
+		}
+	}
+	return dst
+}
+
+// bytesEqual reports whether the n bytes at base equal b, comparing word by
+// word without allocating.
+func bytesEqual(tx ptm.Tx, base nvm.Addr, b []byte) bool {
+	for w := 0; w*8 < len(b); w++ {
+		var want uint64
+		for i := 0; i < 8 && w*8+i < len(b); i++ {
+			want |= uint64(b[w*8+i]) << (8 * i)
+		}
+		if tx.Load(base+nvm.Addr(w)) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// writeBlock allocates and fills an entry block for key/value.
+func writeBlock(tx ptm.Tx, key, value []byte) nvm.Addr {
+	b := tx.Alloc(blockWords(len(key), len(value)))
+	tx.Store(b, packHeader(len(key), len(value)))
+	storeBytes(tx, b+1, key)
+	storeBytes(tx, b+1+nvm.Addr((len(key)+7)/8), value)
+	return b
+}
+
+// blockMatches reports whether the block at addr holds exactly key.
+func blockMatches(tx ptm.Tx, addr nvm.Addr, key []byte) bool {
+	keyLen, _ := unpackHeader(tx.Load(addr))
+	if keyLen != len(key) {
+		return false
+	}
+	return bytesEqual(tx, addr+1, key)
+}
+
+// probe scans the table for key (by fingerprint then full key compare) and
+// returns the address of the matching slot's tag word, or NilAddr. It stops
+// at the first empty slot; tombstones are skipped.
+func (s *Store) probe(tx ptm.Tx, table nvm.Addr, slots uint64, h uint64, key []byte) nvm.Addr {
+	fp := fingerprint(h)
+	idx := s.slotStart(h, slots)
+	for n := uint64(0); n < slots; n++ {
+		slot := table + nvm.Addr(((idx+n)&(slots-1))*slotWords)
+		switch tag := tx.Load(slot); tag {
+		case tagEmpty:
+			return nvm.NilAddr
+		case tagTombstone:
+			continue
+		default:
+			if tag == fp && blockMatches(tx, nvm.Addr(tx.Load(slot+1)), key) {
+				return slot
+			}
+		}
+	}
+	return nvm.NilAddr
+}
+
+// find locates key's slot in the shard, searching the active table and — when
+// a migration is in progress — the old table too.
+func (s *Store) find(tx ptm.Tx, hdr nvm.Addr, h uint64, key []byte) nvm.Addr {
+	if slot := s.probe(tx, nvm.Addr(tx.Load(hdr+shTable)), tx.Load(hdr+shSlots), h, key); slot != nvm.NilAddr {
+		return slot
+	}
+	if old := nvm.Addr(tx.Load(hdr + shOld)); old != nvm.NilAddr {
+		return s.probe(tx, old, tx.Load(hdr+shOldSlots), h, key)
+	}
+	return nvm.NilAddr
+}
+
+// GetTx looks key up within the caller's transaction, appending the value to
+// dst. GetTx performs no persistent writes, so a transaction that only calls
+// it commits on Crafty's read-only fast path.
+func (s *Store) GetTx(tx ptm.Tx, key []byte, dst []byte) ([]byte, bool) {
+	h := hashKey(key)
+	slot := s.find(tx, s.shardHeader(s.shardOf(h)), h, key)
+	if slot == nvm.NilAddr {
+		return dst, false
+	}
+	block := nvm.Addr(tx.Load(slot + 1))
+	keyLen, valLen := unpackHeader(tx.Load(block))
+	return appendBytes(tx, block+1+nvm.Addr((keyLen+7)/8), valLen, dst), true
+}
+
+// PutTx inserts or updates key within the caller's transaction. Updates
+// replace the entry's block (allocating the new one and freeing the old one
+// through the transaction, so an abort leaks nothing and a commit frees
+// exactly once); inserts claim a slot and bump the shard's counters. Each
+// call also advances the shard's incremental rehash by one bounded batch.
+func (s *Store) PutTx(tx ptm.Tx, key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("kv: empty key")
+	}
+	if len(key) >= 1<<16 || len(value) >= 1<<32 {
+		return fmt.Errorf("kv: key (%d) or value (%d) too large", len(key), len(value))
+	}
+	h := hashKey(key)
+	hdr := s.shardHeader(s.shardOf(h))
+	s.stepRehash(tx, hdr)
+
+	if slot := s.find(tx, hdr, h, key); slot != nvm.NilAddr {
+		old := nvm.Addr(tx.Load(slot + 1))
+		tx.Store(slot+1, uint64(writeBlock(tx, key, value)))
+		tx.Free(old)
+		return nil
+	}
+
+	table := nvm.Addr(tx.Load(hdr + shTable))
+	slots := tx.Load(hdr + shSlots)
+	idx := s.slotStart(h, slots)
+	for n := uint64(0); n < slots; n++ {
+		slot := table + nvm.Addr(((idx+n)&(slots-1))*slotWords)
+		tag := tx.Load(slot)
+		if tag != tagEmpty && tag != tagTombstone {
+			continue
+		}
+		tx.Store(slot+1, uint64(writeBlock(tx, key, value)))
+		tx.Store(slot, fingerprint(h))
+		tx.Store(hdr+shLive, tx.Load(hdr+shLive)+1)
+		if tag == tagEmpty {
+			used := tx.Load(hdr+shUsed) + 1
+			tx.Store(hdr+shUsed, used)
+			s.maybeStartRehash(tx, hdr, used, slots)
+		}
+		return nil
+	}
+	return fmt.Errorf("kv: shard table full (%d slots)", slots)
+}
+
+// DeleteTx removes key within the caller's transaction, reporting whether it
+// was present. The slot becomes a tombstone (reclaimed by the next rehash)
+// and the entry's block is freed at commit.
+func (s *Store) DeleteTx(tx ptm.Tx, key []byte) bool {
+	h := hashKey(key)
+	hdr := s.shardHeader(s.shardOf(h))
+	s.stepRehash(tx, hdr)
+	slot := s.find(tx, hdr, h, key)
+	if slot == nvm.NilAddr {
+		return false
+	}
+	block := nvm.Addr(tx.Load(slot + 1))
+	tx.Store(slot, tagTombstone)
+	tx.Store(slot+1, 0)
+	tx.Store(hdr+shLive, tx.Load(hdr+shLive)-1)
+	tx.Free(block)
+	return true
+}
+
+// ScanTx iterates up to n live entries of the shard key hashes into, starting
+// at key's slot and wrapping over the active table — and, mid-migration, over
+// the old table too, so entries not yet moved stay visible — appending each
+// entry's value to dst and returning the number visited. It models an index
+// scan (YCSB workload E); a hash index has no key order, so the "range" is a
+// run of the shard's tables. An entry lives in exactly one table, so nothing
+// is visited twice.
+func (s *Store) ScanTx(tx ptm.Tx, key []byte, n int, dst []byte) ([]byte, int) {
+	h := hashKey(key)
+	hdr := s.shardHeader(s.shardOf(h))
+	seen := 0
+	dst, seen = s.scanTable(tx, nvm.Addr(tx.Load(hdr+shTable)), tx.Load(hdr+shSlots), h, n, seen, dst)
+	if old := nvm.Addr(tx.Load(hdr + shOld)); old != nvm.NilAddr && seen < n {
+		dst, seen = s.scanTable(tx, old, tx.Load(hdr+shOldSlots), h, n, seen, dst)
+	}
+	return dst, seen
+}
+
+// scanTable visits live entries of one table from hash h's probe start.
+func (s *Store) scanTable(tx ptm.Tx, table nvm.Addr, slots uint64, h uint64, n, seen int, dst []byte) ([]byte, int) {
+	idx := s.slotStart(h, slots)
+	for i := uint64(0); i < slots && seen < n; i++ {
+		slot := table + nvm.Addr(((idx+i)&(slots-1))*slotWords)
+		tag := tx.Load(slot)
+		if tag == tagEmpty || tag == tagTombstone {
+			continue
+		}
+		block := nvm.Addr(tx.Load(slot + 1))
+		keyLen, valLen := unpackHeader(tx.Load(block))
+		dst = appendBytes(tx, block+1+nvm.Addr((keyLen+7)/8), valLen, dst)
+		seen++
+	}
+	return dst, seen
+}
+
+// Get runs a read-only lookup transaction, appending the value to dst (pass
+// nil to allocate). The returned slice aliases dst's storage.
+func (s *Store) Get(th ptm.Thread, key, dst []byte) ([]byte, bool, error) {
+	var (
+		out []byte
+		ok  bool
+	)
+	err := th.Atomic(func(tx ptm.Tx) error {
+		// Reset on entry: engines may re-execute the body.
+		out, ok = s.GetTx(tx, key, dst[:0])
+		return nil
+	})
+	return out, ok, err
+}
+
+// Put runs an insert-or-update transaction.
+func (s *Store) Put(th ptm.Thread, key, value []byte) error {
+	return th.Atomic(func(tx ptm.Tx) error { return s.PutTx(tx, key, value) })
+}
+
+// Delete runs a delete transaction, reporting whether the key was present.
+func (s *Store) Delete(th ptm.Thread, key []byte) (bool, error) {
+	var ok bool
+	err := th.Atomic(func(tx ptm.Tx) error {
+		ok = s.DeleteTx(tx, key)
+		return nil
+	})
+	return ok, err
+}
+
+// Len returns the number of live entries, summed over shards in one
+// read-only transaction.
+func (s *Store) Len(th ptm.Thread) (uint64, error) {
+	var n uint64
+	err := th.Atomic(func(tx ptm.Tx) error {
+		n = 0
+		for sh := 0; sh < s.shards; sh++ {
+			n += tx.Load(s.shardHeader(sh) + shLive)
+		}
+		return nil
+	})
+	return n, err
+}
+
+// mustLoad reads one word in a read-only transaction; initialization helper.
+func mustLoad(th ptm.Thread, addr nvm.Addr) uint64 {
+	var v uint64
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		v = tx.Load(addr)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// zeroRegion zeroes words transactionally in bounded batches.
+func (s *Store) zeroRegion(th ptm.Thread, base nvm.Addr, words int) error {
+	for start := 0; start < words; start += zeroBatchWords {
+		end := start + zeroBatchWords
+		if end > words {
+			end = words
+		}
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			for w := start; w < end; w++ {
+				tx.Store(base+nvm.Addr(w), 0)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crafty/internal/core"
+	"crafty/internal/nondurable"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// newNonDurable builds a fast engine for logic tests.
+func newNonDurable(t *testing.T, heapWords, arenaWords int) (ptm.Engine, *nvm.Heap) {
+	t.Helper()
+	heap := nvm.NewHeap(nvm.Config{Words: heapWords, PersistLatency: nvm.NoLatency})
+	eng, err := nondurable.NewEngine(heap, nondurable.Config{ArenaWords: arenaWords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng, heap
+}
+
+func mustCreate(t *testing.T, eng ptm.Engine, th ptm.Thread, cfg Config) *Store {
+	t.Helper()
+	s, err := Create(eng, th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustVerify(t *testing.T, s *Store, heap *nvm.Heap) VerifyReport {
+	t.Helper()
+	rep, err := s.Verify(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestPutGetDelete(t *testing.T) {
+	eng, heap := newNonDurable(t, 1<<20, 1<<18)
+	th := eng.Register()
+	s := mustCreate(t, eng, th, Config{Shards: 4, InitialSlotsPerShard: 16})
+
+	if _, ok, err := s.Get(th, []byte("missing"), nil); err != nil || ok {
+		t.Fatalf("get of missing key: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(th, []byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(th, []byte("beta"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get(th, []byte("alpha"), nil)
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("get alpha = %q, %v, %v", v, ok, err)
+	}
+	// Update in place, including a size change.
+	if err := s.Put(th, []byte("alpha"), []byte("a much longer replacement value")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = s.Get(th, []byte("alpha"), v)
+	if !ok || string(v) != "a much longer replacement value" {
+		t.Fatalf("updated alpha = %q, %v", v, ok)
+	}
+	// Empty value is legal.
+	if err := s.Put(th, []byte("gamma"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = s.Get(th, []byte("gamma"), nil)
+	if !ok || len(v) != 0 {
+		t.Fatalf("empty value = %q, %v", v, ok)
+	}
+	// Empty key is not.
+	if err := s.Put(th, nil, []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+
+	if ok, err := s.Delete(th, []byte("beta")); err != nil || !ok {
+		t.Fatalf("delete beta: %v, %v", ok, err)
+	}
+	if ok, err := s.Delete(th, []byte("beta")); err != nil || ok {
+		t.Fatalf("double delete reported present: %v, %v", ok, err)
+	}
+	if _, ok, _ := s.Get(th, []byte("beta"), nil); ok {
+		t.Fatal("deleted key still present")
+	}
+	n, err := s.Len(th)
+	if err != nil || n != 2 {
+		t.Fatalf("len = %d, %v; want 2", n, err)
+	}
+	rep := mustVerify(t, s, heap)
+	if rep.Entries != 2 {
+		t.Fatalf("verify found %d entries, want 2", rep.Entries)
+	}
+}
+
+// TestRandomAgainstModel drives random puts, updates, deletes, and lookups
+// against an in-memory model, with tables small enough that every shard
+// rehashes several times.
+func TestRandomAgainstModel(t *testing.T) {
+	eng, heap := newNonDurable(t, 1<<22, 1<<21)
+	th := eng.Register()
+	s := mustCreate(t, eng, th, Config{Shards: 2, InitialSlotsPerShard: 16})
+
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%d", i)) }
+	const keySpace = 600
+	for op := 0; op < 6000; op++ {
+		i := rng.Intn(keySpace)
+		switch rng.Intn(10) {
+		case 0, 1: // delete
+			ok, err := s.Delete(th, key(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := model[string(key(i))]
+			if ok != want {
+				t.Fatalf("op %d: delete(%s) = %v, model says %v", op, key(i), ok, want)
+			}
+			delete(model, string(key(i)))
+		case 2, 3, 4, 5: // put (variable-length values)
+			val := fmt.Sprintf("value-%d-%s", op, string(make([]byte, rng.Intn(64))))
+			if err := s.Put(th, key(i), []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+			model[string(key(i))] = val
+		default: // get
+			v, ok, err := s.Get(th, key(i), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := model[string(key(i))]
+			if ok != exists || (ok && string(v) != want) {
+				t.Fatalf("op %d: get(%s) = %q,%v; model %q,%v", op, key(i), v, ok, want, exists)
+			}
+		}
+	}
+	if rep := mustVerify(t, s, heap); rep.Entries != uint64(len(model)) {
+		t.Fatalf("verify found %d entries, model has %d", rep.Entries, len(model))
+	}
+	n, _ := s.Len(th)
+	if n != uint64(len(model)) {
+		t.Fatalf("Len = %d, model has %d", n, len(model))
+	}
+	for k, want := range model {
+		v, ok, err := s.Get(th, []byte(k), nil)
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("final get(%s) = %q,%v,%v; want %q", k, v, ok, err, want)
+		}
+	}
+}
+
+// TestRehashGrowth forces a single shard through multiple doublings and
+// checks the rehash runs to completion (no shard left mid-migration once
+// enough mutating operations have passed).
+func TestRehashGrowth(t *testing.T) {
+	eng, heap := newNonDurable(t, 1<<22, 1<<21)
+	th := eng.Register()
+	s := mustCreate(t, eng, th, Config{Shards: 1, InitialSlotsPerShard: 16})
+
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if err := s.Put(th, []byte(fmt.Sprintf("grow-%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		v, ok, err := s.Get(th, []byte(fmt.Sprintf("grow-%d", i)), nil)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get grow-%d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	rep := mustVerify(t, s, heap)
+	if rep.Entries != keys {
+		t.Fatalf("verify found %d entries, want %d", rep.Entries, keys)
+	}
+	hdr := s.shardHeader(0)
+	if slots := heap.Load(hdr + shSlots); slots < 2*keys/loadDen {
+		t.Fatalf("table never grew: %d slots for %d keys", slots, keys)
+	}
+	// Updates are mutating operations, so they drain any in-flight rehash.
+	for i := 0; i < 600; i++ {
+		if err := s.Put(th, []byte("grow-0"), []byte("vv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if heap.Load(hdr+shOld) != 0 || heap.Load(hdr+shPending) != 0 {
+		t.Fatal("rehash still in flight after 600 mutating operations")
+	}
+	mustVerify(t, s, heap)
+}
+
+// TestScan checks ScanTx visits live entries and honors the limit.
+func TestScan(t *testing.T) {
+	eng, _ := newNonDurable(t, 1<<20, 1<<18)
+	th := eng.Register()
+	s := mustCreate(t, eng, th, Config{Shards: 1, InitialSlotsPerShard: 64})
+	for i := 0; i < 20; i++ {
+		if err := s.Put(th, []byte(fmt.Sprintf("s%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen int
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		_, seen = s.ScanTx(tx, []byte("s3"), 8, nil)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 8 {
+		t.Fatalf("scan visited %d entries, want 8", seen)
+	}
+}
+
+// TestConcurrent hammers the store from several goroutines over Crafty
+// (disjoint key ranges plus a shared hot set) and verifies the index.
+func TestConcurrent(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 23, PersistLatency: nvm.NoLatency})
+	eng, err := core.NewEngine(heap, core.Config{ArenaWords: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	setup := eng.Register()
+	s := mustCreate(t, eng, setup, Config{Shards: 16, InitialSlotsPerShard: 16})
+
+	const workers = 4
+	const perWorker = 400
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	threads := make([]ptm.Thread, workers)
+	threads[0] = setup
+	for w := 1; w < workers; w++ {
+		threads[w] = eng.Register()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := threads[w]
+			for i := 0; i < perWorker; i++ {
+				key := []byte(fmt.Sprintf("w%d-%d", w, i%100))
+				if i%10 == 9 {
+					key = []byte(fmt.Sprintf("hot-%d", i%7)) // shared contended keys
+				}
+				if err := s.Put(th, key, []byte(fmt.Sprintf("%d:%d", w, i))); err != nil {
+					errs[w] = err
+					return
+				}
+				if i%3 == 0 {
+					if _, _, err := s.Get(th, key, nil); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	rep := mustVerify(t, s, heap)
+	// Each worker writes 90 private keys (the 10 i%10==9 iterations of every
+	// hundred go to the shared hot set) plus 7 shared hot keys.
+	if want := uint64(workers*90 + 7); rep.Entries != want {
+		t.Fatalf("verify found %d entries, want %d", rep.Entries, want)
+	}
+}
+
+// TestReopenWithoutCrash closes a Crafty engine, reattaches to the same heap,
+// reopens the store, and keeps operating: adopted blocks must not be handed
+// out again.
+func TestReopenWithoutCrash(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 22, PersistLatency: nvm.NoLatency})
+	eng, err := core.NewEngine(heap, core.Config{ArenaWords: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := eng.Layout()
+	th := eng.Register()
+	s := mustCreate(t, eng, th, Config{Shards: 4, InitialSlotsPerShard: 16})
+	for i := 0; i < 300; i++ {
+		if err := s.Put(th, []byte(fmt.Sprintf("p%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := s.Root()
+	eng.Close()
+
+	eng2, err := core.Open(heap, layout, core.Config{ArenaWords: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	th2 := eng2.Register()
+	s2, err := Reopen(eng2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		v, ok, err := s2.Get(th2, []byte(fmt.Sprintf("p%d", i)), nil)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopened get p%d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	// New writes must not clobber adopted blocks.
+	for i := 0; i < 300; i++ {
+		if err := s2.Put(th2, []byte(fmt.Sprintf("q%d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if v, ok, _ := s2.Get(th2, []byte(fmt.Sprintf("p%d", i)), nil); !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("p%d corrupted after post-reopen writes: %q,%v", i, v, ok)
+		}
+	}
+	mustVerify(t, s2, heap)
+}
+
+// TestReopenRejectsGarbage ensures Reopen fails cleanly on a heap with no
+// store at the given root.
+func TestReopenRejectsGarbage(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 16, PersistLatency: nvm.NoLatency})
+	eng, err := core.NewEngine(heap, core.Config{ArenaWords: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := Reopen(eng, heap.MustCarve(64)); err == nil {
+		t.Fatal("Reopen accepted a heap without a store")
+	}
+}

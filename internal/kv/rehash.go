@@ -1,0 +1,146 @@
+package kv
+
+import (
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// Incremental per-shard rehash.
+//
+// A shard moves through three states, all recorded in its persistent header
+// so a crash at any point leaves a resumable protocol:
+//
+//	IDLE:      old == 0, pending == 0. One active table serves everything.
+//	ZEROING:   pending != 0. A double-size table has been allocated and is
+//	           being zeroed transactionally, zeroBatchWords per mutating
+//	           operation (the arena's own zeroing is not transactional, so a
+//	           table must be written through a Tx before any slot of it may
+//	           be trusted after a crash). The active table still serves all
+//	           traffic, past its load threshold — the margin below is sized
+//	           so zeroing plus migration finish before it can fill.
+//	MIGRATING: old != 0. The zeroed table became active; lookups consult the
+//	           new table then the old, inserts go to the new table, and each
+//	           mutating operation migrates up to migrateBatch live entries
+//	           (tombstoning their old slots so old-table probe chains stay
+//	           intact). When the cursor passes the end, the old table is
+//	           freed (deferred to commit by the TxLog) and the shard is IDLE.
+//
+// Every step is part of some user transaction, so the whole protocol is
+// failure atomic for free: a crash rolls back to a prefix of committed
+// steps, never a torn table.
+//
+// Progress argument: rehash starts when used > 3/4 * slots, leaving at least
+// slots/4 insertions before the active table can fill. Zeroing the 4*slots
+// pending words takes ceil(4*slots/zeroBatchWords) mutating operations and
+// migration at most ceil(slots/migrateBatch); with the package's constants
+// that sum stays safely under slots/4 for every table size >= 16 slots, and
+// only insertions (which drive both cursors) consume the margin.
+
+// maybeStartRehash begins a rehash if the shard is IDLE and past its load
+// threshold. Called with the post-insert used count.
+func (s *Store) maybeStartRehash(tx ptm.Tx, hdr nvm.Addr, used, slots uint64) {
+	if used*loadDen <= slots*loadNum {
+		return
+	}
+	if tx.Load(hdr+shOld) != 0 || tx.Load(hdr+shPending) != 0 {
+		return // already in progress
+	}
+	pendingSlots := slots * 2
+	pending := tx.Alloc(int(pendingSlots) * slotWords)
+	tx.Store(hdr+shPending, uint64(pending))
+	tx.Store(hdr+shPendingSlots, pendingSlots)
+	tx.Store(hdr+shZeroCursor, 0)
+}
+
+// stepRehash advances the shard's rehash, if one is in progress, by one
+// bounded batch. Mutating operations call it first, so rehash progress rides
+// on the workload's own transactions.
+func (s *Store) stepRehash(tx ptm.Tx, hdr nvm.Addr) {
+	if pending := nvm.Addr(tx.Load(hdr + shPending)); pending != nvm.NilAddr {
+		s.stepZeroing(tx, hdr, pending)
+		return
+	}
+	if old := nvm.Addr(tx.Load(hdr + shOld)); old != nvm.NilAddr {
+		s.stepMigration(tx, hdr, old)
+	}
+}
+
+// stepZeroing zeroes the next batch of the pending table; when it completes,
+// the pending table becomes the active one and the previous active table
+// becomes the migration source.
+func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) {
+	pendingWords := tx.Load(hdr+shPendingSlots) * slotWords
+	cursor := tx.Load(hdr + shZeroCursor)
+	end := cursor + zeroBatchWords
+	if end > pendingWords {
+		end = pendingWords
+	}
+	for w := cursor; w < end; w++ {
+		tx.Store(pending+nvm.Addr(w), 0)
+	}
+	tx.Store(hdr+shZeroCursor, end)
+	if end < pendingWords {
+		return
+	}
+	// Swap: the zeroed table becomes active; begin migration.
+	tx.Store(hdr+shOld, tx.Load(hdr+shTable))
+	tx.Store(hdr+shOldSlots, tx.Load(hdr+shSlots))
+	tx.Store(hdr+shTable, uint64(pending))
+	tx.Store(hdr+shSlots, tx.Load(hdr+shPendingSlots))
+	tx.Store(hdr+shPending, 0)
+	tx.Store(hdr+shPendingSlots, 0)
+	tx.Store(hdr+shZeroCursor, 0)
+	tx.Store(hdr+shUsed, 0)
+	tx.Store(hdr+shMigrate, 0)
+}
+
+// stepMigration moves up to migrateBatch live entries from the old table into
+// the active one, then frees the old table once the cursor passes its end.
+func (s *Store) stepMigration(tx ptm.Tx, hdr, old nvm.Addr) {
+	oldSlots := tx.Load(hdr + shOldSlots)
+	table := nvm.Addr(tx.Load(hdr + shTable))
+	slots := tx.Load(hdr + shSlots)
+	cursor := tx.Load(hdr + shMigrate)
+	moved := 0
+	for cursor < oldSlots && moved < migrateBatch {
+		slot := old + nvm.Addr(cursor*slotWords)
+		tag := tx.Load(slot)
+		cursor++
+		if tag == tagEmpty || tag == tagTombstone {
+			continue
+		}
+		s.reinsert(tx, hdr, table, slots, tag, tx.Load(slot+1))
+		tx.Store(slot, tagTombstone)
+		tx.Store(slot+1, 0)
+		moved++
+	}
+	tx.Store(hdr+shMigrate, cursor)
+	if cursor == oldSlots {
+		tx.Store(hdr+shOld, 0)
+		tx.Store(hdr+shOldSlots, 0)
+		tx.Store(hdr+shMigrate, 0)
+		tx.Free(old)
+	}
+}
+
+// reinsert places a migrated entry (tag fingerprint + block address) into the
+// active table. The fingerprint preserves every bit the probe sequence uses
+// (bit 63 is the only bit it forces, and slot indices come from lower bits),
+// so no key bytes need to be read. Migration never fails: the active table
+// is at least twice the old one's size.
+func (s *Store) reinsert(tx ptm.Tx, hdr, table nvm.Addr, slots uint64, tag, blockAddr uint64) {
+	idx := s.slotStart(tag&^fpBit, slots)
+	for n := uint64(0); n < slots; n++ {
+		slot := table + nvm.Addr(((idx+n)&(slots-1))*slotWords)
+		switch t := tx.Load(slot); t {
+		case tagEmpty, tagTombstone:
+			tx.Store(slot, tag)
+			tx.Store(slot+1, blockAddr)
+			if t == tagEmpty {
+				tx.Store(hdr+shUsed, tx.Load(hdr+shUsed)+1)
+			}
+			return
+		}
+	}
+	panic("kv: migration target table full (sizing invariant violated)")
+}

@@ -1,0 +1,192 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+
+	"crafty/internal/alloc"
+	"crafty/internal/nvm"
+)
+
+// VerifyReport summarizes an index verification pass.
+type VerifyReport struct {
+	Entries    uint64 // live entries found across all shards
+	Tombstones uint64 // tombstoned slots (active + old tables)
+	Rehashing  int    // shards mid-rehash (zeroing or migrating)
+}
+
+// Verify walks the whole index non-transactionally (all workers must be
+// stopped, exactly as at recovery time) and checks its invariants: header
+// sanity, per-shard counter consistency, every live slot's block parsing to a
+// key that hashes back to its fingerprint, shard, and probe window, and no
+// key or block appearing twice. It is the post-crash index check and the
+// workload driver's integrity check.
+func (s *Store) Verify(heap *nvm.Heap) (VerifyReport, error) {
+	var rep VerifyReport
+	blocks := map[nvm.Addr]string{}
+	keys := map[string]bool{}
+	for sh := 0; sh < s.shards; sh++ {
+		hdr := s.shardHeader(sh)
+		table := nvm.Addr(heap.Load(hdr + shTable))
+		slots := heap.Load(hdr + shSlots)
+		if table == nvm.NilAddr || slots < 16 || slots&(slots-1) != 0 {
+			return rep, fmt.Errorf("kv: shard %d has corrupt table (addr=%d slots=%d)", sh, table, slots)
+		}
+		if heap.Load(hdr+shPending) != 0 || heap.Load(hdr+shOld) != 0 {
+			rep.Rehashing++
+		}
+		var live, used uint64
+		count := func(table nvm.Addr, slots uint64, active bool) error {
+			for i := uint64(0); i < slots; i++ {
+				slot := table + nvm.Addr(i*slotWords)
+				tag := heap.Load(slot)
+				switch tag {
+				case tagEmpty:
+					continue
+				case tagTombstone:
+					rep.Tombstones++
+					if active {
+						used++
+					}
+					continue
+				}
+				if active {
+					used++
+				}
+				live++
+				block := nvm.Addr(heap.Load(slot + 1))
+				key, err := s.checkEntry(heap, sh, tag, block)
+				if err != nil {
+					return fmt.Errorf("kv: shard %d slot %d: %w", sh, i, err)
+				}
+				if keys[key] {
+					return fmt.Errorf("kv: shard %d slot %d: duplicate key %q", sh, i, key)
+				}
+				keys[key] = true
+				if prev, ok := blocks[block]; ok {
+					return fmt.Errorf("kv: block %d referenced by both %q and %q", block, prev, key)
+				}
+				blocks[block] = key
+			}
+			return nil
+		}
+		if err := count(table, slots, true); err != nil {
+			return rep, err
+		}
+		if old := nvm.Addr(heap.Load(hdr + shOld)); old != nvm.NilAddr {
+			oldSlots := heap.Load(hdr + shOldSlots)
+			if oldSlots < 16 || oldSlots&(oldSlots-1) != 0 {
+				return rep, fmt.Errorf("kv: shard %d has corrupt old table (slots=%d)", sh, oldSlots)
+			}
+			if err := count(old, oldSlots, false); err != nil {
+				return rep, err
+			}
+		}
+		if got := heap.Load(hdr + shLive); got != live {
+			return rep, fmt.Errorf("kv: shard %d live counter %d, found %d entries", sh, got, live)
+		}
+		if got := heap.Load(hdr + shUsed); got != used {
+			return rep, fmt.Errorf("kv: shard %d used counter %d, found %d used slots", sh, got, used)
+		}
+		rep.Entries += live
+	}
+	return rep, nil
+}
+
+// checkEntry validates one live slot's block and returns its key.
+func (s *Store) checkEntry(heap *nvm.Heap, sh int, tag uint64, block nvm.Addr) (string, error) {
+	if tag&fpBit == 0 {
+		return "", fmt.Errorf("invalid tag %#x", tag)
+	}
+	if block == nvm.NilAddr || int(block) >= heap.Words() {
+		return "", fmt.Errorf("block address %d out of range", block)
+	}
+	keyLen, valLen := unpackHeader(heap.Load(block))
+	if keyLen == 0 || keyLen >= 1<<16 {
+		return "", fmt.Errorf("block %d has invalid key length %d", block, keyLen)
+	}
+	if int(block)+blockWords(keyLen, valLen) > heap.Words() {
+		return "", fmt.Errorf("block %d (%d key + %d value bytes) extends past the heap", block, keyLen, valLen)
+	}
+	key := make([]byte, 0, keyLen)
+	for w := 0; w*8 < keyLen; w++ {
+		v := heap.Load(block + 1 + nvm.Addr(w))
+		for i := 0; i < 8 && w*8+i < keyLen; i++ {
+			key = append(key, byte(v>>(8*i)))
+		}
+	}
+	h := hashKey(key)
+	if fingerprint(h) != tag {
+		return "", fmt.Errorf("block %d key %q hashes to %#x, slot tagged %#x", block, key, fingerprint(h), tag)
+	}
+	if got := s.shardOf(h); got != sh {
+		return "", fmt.Errorf("key %q belongs to shard %d, found in shard %d", key, got, sh)
+	}
+	return string(key), nil
+}
+
+// adoptBlocks rebuilds the volatile allocator state after a crash by adopting
+// every block reachable from the index: each shard's tables (active, old, and
+// pending) and every live entry's block. Blocks that were free, or became
+// unreachable because a delete's free never replayed, are leaked until the
+// next rebuild — the allocator's volatile-metadata limitation recorded in
+// DESIGN.md. Overlapping adopted ranges indicate a corrupt index and fail.
+func (s *Store) adoptBlocks(heap *nvm.Heap, arena *alloc.Arena) error {
+	type region struct {
+		addr  nvm.Addr
+		words int
+		what  string
+	}
+	var regions []region
+	add := func(addr nvm.Addr, words int, what string) {
+		regions = append(regions, region{addr, words, what})
+	}
+	for sh := 0; sh < s.shards; sh++ {
+		hdr := s.shardHeader(sh)
+		table := nvm.Addr(heap.Load(hdr + shTable))
+		slots := heap.Load(hdr + shSlots)
+		add(table, int(slots)*slotWords, fmt.Sprintf("shard %d table", sh))
+		if old := nvm.Addr(heap.Load(hdr + shOld)); old != nvm.NilAddr {
+			add(old, int(heap.Load(hdr+shOldSlots))*slotWords, fmt.Sprintf("shard %d old table", sh))
+		}
+		if pending := nvm.Addr(heap.Load(hdr + shPending)); pending != nvm.NilAddr {
+			add(pending, int(heap.Load(hdr+shPendingSlots))*slotWords, fmt.Sprintf("shard %d pending table", sh))
+		}
+		tables := []struct {
+			base  nvm.Addr
+			slots uint64
+		}{{table, slots}}
+		if old := nvm.Addr(heap.Load(hdr + shOld)); old != nvm.NilAddr {
+			tables = append(tables, struct {
+				base  nvm.Addr
+				slots uint64
+			}{old, heap.Load(hdr + shOldSlots)})
+		}
+		for _, t := range tables {
+			for i := uint64(0); i < t.slots; i++ {
+				slot := t.base + nvm.Addr(i*slotWords)
+				tag := heap.Load(slot)
+				if tag == tagEmpty || tag == tagTombstone {
+					continue
+				}
+				block := nvm.Addr(heap.Load(slot + 1))
+				keyLen, valLen := unpackHeader(heap.Load(block))
+				add(block, blockWords(keyLen, valLen), fmt.Sprintf("shard %d entry block", sh))
+			}
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].addr < regions[j].addr })
+	for i := 1; i < len(regions); i++ {
+		prev, cur := regions[i-1], regions[i]
+		if prev.addr+nvm.Addr(prev.words) > cur.addr {
+			return fmt.Errorf("kv: %s [%d,+%d) overlaps %s [%d,+%d)",
+				prev.what, prev.addr, prev.words, cur.what, cur.addr, cur.words)
+		}
+	}
+	for _, r := range regions {
+		if err := arena.Adopt(r.addr, r.words); err != nil {
+			return fmt.Errorf("kv: adopting %s: %w", r.what, err)
+		}
+	}
+	return nil
+}

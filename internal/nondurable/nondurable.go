@@ -74,6 +74,10 @@ func (e *Engine) Name() string { return "Non-durable" }
 // Heap implements ptm.Engine.
 func (e *Engine) Heap() *nvm.Heap { return e.heap }
 
+// Arena returns the engine's persistent allocation arena, or nil if none was
+// configured.
+func (e *Engine) Arena() *alloc.Arena { return e.arena }
+
 // HTM exposes the underlying emulated HTM engine.
 func (e *Engine) HTM() *htm.Engine { return e.hw }
 

@@ -1,0 +1,107 @@
+package ptm
+
+import (
+	"strings"
+	"testing"
+
+	"crafty/internal/htm"
+)
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeHTM:      "Non-Crafty",
+		OutcomeReadOnly: "Read Only",
+		OutcomeRedo:     "Redo",
+		OutcomeValidate: "Validate",
+		OutcomeSGL:      "SGL",
+	}
+	if len(want) != NumOutcomes {
+		t.Fatalf("test covers %d outcomes, NumOutcomes = %d", len(want), NumOutcomes)
+	}
+	for o, label := range want {
+		if got := o.String(); got != label {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, got, label)
+		}
+	}
+	if got := Outcome(200).String(); got != "outcome(200)" {
+		t.Errorf("unknown outcome renders %q", got)
+	}
+}
+
+func TestStatsTotalsAndAverages(t *testing.T) {
+	var s Stats
+	if s.Txns() != 0 || s.WritesPerTxn() != 0 {
+		t.Fatalf("zero stats: txns=%d writes/txn=%v", s.Txns(), s.WritesPerTxn())
+	}
+	s.Persistent[OutcomeRedo] = 6
+	s.Persistent[OutcomeValidate] = 2
+	s.Persistent[OutcomeReadOnly] = 2
+	s.Writes = 30
+	if got := s.Txns(); got != 10 {
+		t.Fatalf("Txns() = %d, want 10", got)
+	}
+	if got := s.WritesPerTxn(); got != 3 {
+		t.Fatalf("WritesPerTxn() = %v, want 3", got)
+	}
+}
+
+// TestStatsAddSub mirrors how the harness merges per-thread counters and then
+// subtracts the setup-phase snapshot.
+func TestStatsAddSub(t *testing.T) {
+	mk := func(redo, sgl, writes, aborts, commits, userAborts uint64) Stats {
+		var s Stats
+		s.Persistent[OutcomeRedo] = redo
+		s.Persistent[OutcomeSGL] = sgl
+		s.Writes = writes
+		s.UserAborts = userAborts
+		s.HTM.Commits = commits
+		s.HTM.ExplicitCommit = commits / 2
+		s.HTM.Aborts[htm.CauseConflict] = aborts
+		s.HTM.Aborts[htm.CauseCapacity] = aborts * 2
+		return s
+	}
+	var agg Stats
+	agg.Add(mk(5, 1, 12, 3, 20, 1))
+	agg.Add(mk(7, 0, 18, 1, 30, 0))
+
+	if agg.Persistent[OutcomeRedo] != 12 || agg.Persistent[OutcomeSGL] != 1 {
+		t.Fatalf("merged outcomes wrong: %+v", agg.Persistent)
+	}
+	if agg.Writes != 30 || agg.UserAborts != 1 {
+		t.Fatalf("merged writes=%d userAborts=%d", agg.Writes, agg.UserAborts)
+	}
+	if agg.HTM.Commits != 50 || agg.HTM.Aborts[htm.CauseConflict] != 4 || agg.HTM.Aborts[htm.CauseCapacity] != 8 {
+		t.Fatalf("merged HTM stats wrong: %+v", agg.HTM)
+	}
+
+	// Subtracting the first snapshot leaves exactly the second's counters
+	// (the harness excludes workload setup this way).
+	agg.Sub(mk(5, 1, 12, 3, 20, 1))
+	rest := mk(7, 0, 18, 1, 30, 0)
+	if agg.Persistent != rest.Persistent || agg.Writes != rest.Writes ||
+		agg.UserAborts != rest.UserAborts || agg.HTM.Commits != rest.HTM.Commits ||
+		agg.HTM.ExplicitCommit != rest.HTM.ExplicitCommit || agg.HTM.Aborts != rest.HTM.Aborts {
+		t.Fatalf("Sub did not invert Add: %+v", agg)
+	}
+}
+
+func TestStatsStringFormat(t *testing.T) {
+	var s Stats
+	s.Persistent[OutcomeRedo] = 4
+	s.Persistent[OutcomeValidate] = 1
+	s.Writes = 10
+	s.HTM.Commits = 9
+	s.HTM.Aborts[htm.CauseConflict] = 2
+	got := s.String()
+	for _, frag := range []string{"txns=5", "writes/txn=2.0", "Redo=4", "Validate=1", "commit=9", "conflict=2"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("Stats.String() = %q, missing %q", got, frag)
+		}
+	}
+	// Zero-count categories are omitted to keep reports compact.
+	for _, frag := range []string{"SGL", "Read Only", "capacity", "zero"} {
+		if strings.Contains(got, frag) {
+			t.Errorf("Stats.String() = %q, should omit zero category %q", got, frag)
+		}
+	}
+}

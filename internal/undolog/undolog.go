@@ -72,6 +72,10 @@ func (e *Engine) Name() string { return "UndoLog" }
 // Heap implements ptm.Engine.
 func (e *Engine) Heap() *nvm.Heap { return e.heap }
 
+// Arena returns the engine's persistent allocation arena, or nil if none was
+// configured.
+func (e *Engine) Arena() *alloc.Arena { return e.arena }
+
 // Close implements ptm.Engine.
 func (e *Engine) Close() error { return nil }
 

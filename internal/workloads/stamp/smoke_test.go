@@ -1,0 +1,52 @@
+// Package stamp_test smoke-tests every STAMP-analog workload through the
+// harness (an external test package, so it can use the harness without an
+// import cycle): each benchmark runs a few hundred operations on Crafty and
+// on the non-durable baseline, and harness.Run applies the workload's
+// final-state invariant (Workload.Check) after the workers finish.
+package stamp_test
+
+import (
+	"testing"
+
+	"crafty/internal/harness"
+	"crafty/internal/nvm"
+	"crafty/internal/workloads"
+	"crafty/internal/workloads/stamp"
+)
+
+// factories mirrors the harness's Figure 8 configuration set.
+func factories() map[string]func() workloads.Workload {
+	return map[string]func() workloads.Workload{
+		"kmeans/high":   func() workloads.Workload { return stamp.NewKMeans(true) },
+		"kmeans/low":    func() workloads.Workload { return stamp.NewKMeans(false) },
+		"vacation/high": func() workloads.Workload { return stamp.NewVacation(true) },
+		"vacation/low":  func() workloads.Workload { return stamp.NewVacation(false) },
+		"labyrinth":     func() workloads.Workload { return stamp.NewLabyrinth() },
+		"ssca2":         func() workloads.Workload { return stamp.NewSSCA2() },
+		"genome":        func() workloads.Workload { return stamp.NewGenome() },
+		"intruder":      func() workloads.Workload { return stamp.NewIntruder() },
+	}
+}
+
+func TestSTAMPSmoke(t *testing.T) {
+	for name, mk := range factories() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for _, eng := range []harness.EngineKind{harness.Crafty, harness.NonDurable} {
+				wl := mk() // fresh instance per engine: workloads carve at setup
+				res, err := harness.Run(eng, wl, harness.Options{
+					Threads:        2,
+					OpsPerThread:   150,
+					PersistLatency: nvm.NoLatency,
+					Seed:           13,
+				})
+				if err != nil {
+					t.Fatalf("%s on %s: %v", name, eng, err)
+				}
+				if res.Ops != 300 || res.Stats.Txns() == 0 {
+					t.Fatalf("%s on %s: implausible result %+v", name, eng, res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,318 @@
+// Package ycsb implements a YCSB-style key-value workload driver (workloads
+// A–F of the Yahoo! Cloud Serving Benchmark) over the durable kv store, as a
+// workloads.Workload — so the same service-shaped traffic (skewed point
+// reads, updates, inserts into a growing index, read-modify-writes, and
+// short scans) runs unchanged over Crafty, its variants, NV-HTM, DudeTM, the
+// non-durable baseline, and the classic logging engines.
+//
+// Key choice follows YCSB: a scrambled zipfian (theta 0.99) or uniform
+// distribution over the loaded records, and a "latest" distribution (zipfian
+// over recency) for workload D. Every random choice is drawn before the
+// transaction body runs, keeping bodies idempotent under re-execution
+// (Crafty's Log and Validate phases).
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"crafty/internal/kv"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads"
+)
+
+// Mix selects one of the six core YCSB workloads.
+type Mix int
+
+// The YCSB core workload mixes.
+const (
+	A Mix = iota // 50% read, 50% update
+	B            // 95% read, 5% update
+	C            // 100% read
+	D            // 95% read (latest), 5% insert
+	E            // 95% scan, 5% insert
+	F            // 50% read, 50% read-modify-write
+)
+
+// String returns the workload letter.
+func (m Mix) String() string { return string(rune('a' + int(m))) }
+
+// Config configures the driver.
+type Config struct {
+	// Mix selects the operation mix (A–F).
+	Mix Mix
+	// Records is the number of records loaded before measurement.
+	// Default 8192.
+	Records int
+	// ValueBytes is the value size (YCSB default field volume is ~100 bytes
+	// per record at 1 field). Default 100.
+	ValueBytes int
+	// Uniform selects uniform key choice instead of the zipfian default.
+	Uniform bool
+	// Shards overrides the store's shard count. Default 64.
+	Shards int
+	// MaxScanLen bounds workload E's scan length. Default 16.
+	MaxScanLen int
+	// Threads is the worker count (sizes per-worker scratch). Default 1.
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Records == 0 {
+		c.Records = 8192
+	}
+	if c.ValueBytes == 0 {
+		c.ValueBytes = 100
+	}
+	if c.Shards == 0 {
+		c.Shards = 64
+	}
+	if c.MaxScanLen == 0 {
+		c.MaxScanLen = 16
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// Workload is the driver instance.
+type Workload struct {
+	cfg   Config
+	zipf  *Zipf
+	store *kv.Store
+	next  atomic.Uint64 // next record id to insert (D and E grow the index)
+
+	mu        sync.Mutex
+	setupDone bool
+
+	// Per-worker scratch, reused across operations so the measured loop does
+	// not allocate: key buffer, value buffer, and read destination.
+	scratch []*workerScratch
+}
+
+type workerScratch struct {
+	key []byte
+	val []byte
+	dst []byte
+}
+
+// New creates a YCSB workload.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	w := &Workload{cfg: cfg, zipf: NewZipf(uint64(cfg.Records), ZipfTheta)}
+	w.scratch = make([]*workerScratch, cfg.Threads)
+	for i := range w.scratch {
+		w.scratch[i] = &workerScratch{}
+	}
+	return w
+}
+
+// Name implements workloads.Workload.
+func (w *Workload) Name() string {
+	dist := "zipfian"
+	switch {
+	case w.cfg.Uniform:
+		dist = "uniform"
+	case w.cfg.Mix == D:
+		dist = "latest"
+	}
+	return fmt.Sprintf("ycsb-%s (%s)", w.cfg.Mix, dist)
+}
+
+// Store returns the underlying kv store (tests use it to verify directly).
+func (w *Workload) Store() *kv.Store { return w.store }
+
+// blockClass is the arena size class of one record's entry block.
+func (w *Workload) blockClass() int {
+	keyWords := (len("user") + 20 + 7) / 8 // worst-case decimal id
+	valWords := (w.cfg.ValueBytes + 7) / 8
+	words := 1 + keyWords + valWords
+	lines := (words + nvm.WordsPerLine - 1) / nvm.WordsPerLine
+	return lines * nvm.WordsPerLine
+}
+
+// slotsPerShard sizes the initial tables so the load phase stays below the
+// rehash threshold with headroom for the insert mixes.
+func (w *Workload) slotsPerShard(maxRecords int) int {
+	perShard := 2 * maxRecords / w.cfg.Shards
+	slots := 16
+	for slots < perShard {
+		slots *= 2
+	}
+	return slots
+}
+
+// Requirements implements workloads.Workload.
+func (w *Workload) Requirements() workloads.Requirements {
+	// Insert headroom: workloads D and E grow the index during measurement.
+	maxRecords := w.cfg.Records * 2
+	tableWords := w.cfg.Shards * w.slotsPerShard(maxRecords) * 2
+	// Tables can transiently exist twice per shard mid-rehash (active +
+	// double-size pending), blocks churn within one size class.
+	arena := 3*tableWords + maxRecords*w.blockClass()*5/4 + 1<<14
+	return workloads.Requirements{
+		HeapWords:  arena + (1+2*w.cfg.Shards)*nvm.WordsPerLine + 1<<16,
+		ArenaWords: arena,
+	}
+}
+
+// Setup implements workloads.Workload: create the store and load the
+// records, one insert transaction each, exactly as YCSB's load phase.
+func (w *Workload) Setup(eng ptm.Engine, th ptm.Thread) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.setupDone {
+		return nil
+	}
+	store, err := kv.Create(eng, th, kv.Config{
+		Shards:               w.cfg.Shards,
+		InitialSlotsPerShard: w.slotsPerShard(w.cfg.Records * 2),
+	})
+	if err != nil {
+		return err
+	}
+	w.store = store
+	s := w.scratch[0]
+	for id := 0; id < w.cfg.Records; id++ {
+		s.key = appendKey(s.key[:0], uint64(id))
+		s.val = appendValue(s.val[:0], uint64(id), 0, w.cfg.ValueBytes)
+		if err := store.Put(th, s.key, s.val); err != nil {
+			return fmt.Errorf("ycsb: loading record %d: %w", id, err)
+		}
+	}
+	w.next.Store(uint64(w.cfg.Records))
+	w.setupDone = true
+	return nil
+}
+
+// appendKey renders the YCSB-style key for a record id.
+func appendKey(dst []byte, id uint64) []byte {
+	dst = append(dst, "user"...)
+	return strconv.AppendUint(dst, id, 10)
+}
+
+// appendValue renders a deterministic value: an 8-byte-ish header naming the
+// id and version, padded to size with a pattern derived from both.
+func appendValue(dst []byte, id, version uint64, size int) []byte {
+	dst = strconv.AppendUint(dst, id, 10)
+	dst = append(dst, ':')
+	dst = strconv.AppendUint(dst, version, 10)
+	for len(dst) < size {
+		dst = append(dst, byte('a'+(id+version+uint64(len(dst)))%26))
+	}
+	return dst[:size]
+}
+
+// chooseRead picks a record id for a read-like operation.
+func (w *Workload) chooseRead(rng *rand.Rand) uint64 {
+	space := w.next.Load()
+	if w.cfg.Uniform {
+		return rng.Uint64() % space
+	}
+	if w.cfg.Mix == D {
+		// Latest: zipfian over recency, so new records are the hottest.
+		r := w.zipf.Next(rng)
+		if r >= space {
+			r = space - 1
+		}
+		return space - 1 - r
+	}
+	// Scrambled zipfian over the loaded records.
+	return scramble(w.zipf.Next(rng), uint64(w.cfg.Records))
+}
+
+// Run implements workloads.Workload: one YCSB operation in one persistent
+// transaction. All random choices happen before the body so it re-executes
+// idempotently.
+func (w *Workload) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
+	s := w.scratch[worker%len(w.scratch)]
+	op := rng.Intn(100)
+	switch w.cfg.Mix {
+	case A, B, C:
+		readPct := 50
+		switch w.cfg.Mix {
+		case B:
+			readPct = 95
+		case C:
+			readPct = 100
+		}
+		id := w.chooseRead(rng)
+		s.key = appendKey(s.key[:0], id)
+		if op < readPct {
+			return w.read(th, s, true)
+		}
+		s.val = appendValue(s.val[:0], id, uint64(rng.Uint32()), w.cfg.ValueBytes)
+		return w.store.Put(th, s.key, s.val)
+	case D, E:
+		if op < 5 {
+			id := w.next.Add(1) - 1
+			s.key = appendKey(s.key[:0], id)
+			s.val = appendValue(s.val[:0], id, 0, w.cfg.ValueBytes)
+			return w.store.Put(th, s.key, s.val)
+		}
+		id := w.chooseRead(rng)
+		s.key = appendKey(s.key[:0], id)
+		if w.cfg.Mix == D {
+			// The id space grows concurrently: an id is reserved before its
+			// insert transaction commits, so a "latest" read may race a
+			// still-uncommitted insert. Only the loaded records are
+			// guaranteed present.
+			return w.read(th, s, id < uint64(w.cfg.Records))
+		}
+		scanLen := 1 + rng.Intn(w.cfg.MaxScanLen)
+		return th.Atomic(func(tx ptm.Tx) error {
+			s.dst, _ = w.store.ScanTx(tx, s.key, scanLen, s.dst[:0])
+			return nil
+		})
+	case F:
+		id := w.chooseRead(rng)
+		s.key = appendKey(s.key[:0], id)
+		if op < 50 {
+			return w.read(th, s, true)
+		}
+		// Read-modify-write in a single transaction.
+		s.val = appendValue(s.val[:0], id, uint64(rng.Uint32()), w.cfg.ValueBytes)
+		return th.Atomic(func(tx ptm.Tx) error {
+			s.dst, _ = w.store.GetTx(tx, s.key, s.dst[:0])
+			return w.store.PutTx(tx, s.key, s.val)
+		})
+	default:
+		return fmt.Errorf("ycsb: unknown mix %d", w.cfg.Mix)
+	}
+}
+
+// read runs one point lookup. When strict, a miss is an error: the loaded
+// records can never be absent. Non-strict reads target the concurrently
+// growing insert region, where a reserved id's insert may not have committed
+// yet.
+func (w *Workload) read(th ptm.Thread, s *workerScratch, strict bool) error {
+	var ok bool
+	var err error
+	s.dst, ok, err = w.store.Get(th, s.key, s.dst)
+	if err != nil {
+		return err
+	}
+	if !ok && strict {
+		return fmt.Errorf("ycsb: loaded key %q missing", s.key)
+	}
+	return nil
+}
+
+// Check implements workloads.Workload: the index verifies, and the live
+// count equals the loaded records plus every committed insert.
+func (w *Workload) Check(heap *nvm.Heap) error {
+	rep, err := w.store.Verify(heap)
+	if err != nil {
+		return err
+	}
+	want := w.next.Load()
+	if rep.Entries != want {
+		return fmt.Errorf("ycsb: %d live entries, want %d (records + inserts)", rep.Entries, want)
+	}
+	return nil
+}

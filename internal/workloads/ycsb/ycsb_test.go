@@ -1,0 +1,111 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"crafty/internal/nondurable"
+	"crafty/internal/nvm"
+)
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	const n = 1000
+	z := NewZipf(n, ZipfTheta)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Next(rng)
+		if r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must be the clear mode and carry several percent of the mass
+	// (theta=0.99 gives ~ 1/zeta(n) ≈ 13% for n=1000).
+	if counts[0] < draws/20 {
+		t.Fatalf("rank 0 drawn %d of %d times; distribution not skewed", counts[0], draws)
+	}
+	if counts[0] <= counts[n/2] {
+		t.Fatalf("rank 0 (%d) not hotter than rank %d (%d)", counts[0], n/2, counts[n/2])
+	}
+}
+
+func TestScrambleSpreadsAndBounds(t *testing.T) {
+	const n = 97
+	seen := make(map[uint64]bool)
+	for r := uint64(0); r < 3*n; r++ {
+		id := scramble(r, n)
+		if id >= n {
+			t.Fatalf("scrambled id %d out of range", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < n/2 {
+		t.Fatalf("scramble maps 3n ranks onto only %d of %d ids", len(seen), n)
+	}
+}
+
+// runMix drives one mix for a few thousand operations over the fast
+// non-durable engine and lets Check verify the index and live count.
+func runMix(t *testing.T, mix Mix, uniform bool) {
+	t.Helper()
+	cfg := Config{Mix: mix, Records: 512, ValueBytes: 64, Shards: 8, Uniform: uniform, Threads: 2}
+	w := New(cfg)
+	req := w.Requirements()
+	heap := nvm.NewHeap(nvm.Config{Words: req.HeapWords + 1<<18, PersistLatency: nvm.NoLatency})
+	eng, err := nondurable.NewEngine(heap, nondurable.Config{ArenaWords: req.ArenaWords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	th := eng.Register()
+	if err := w.Setup(eng, th); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		if err := w.Run(0, th, rng); err != nil {
+			t.Fatalf("mix %s op %d: %v", mix, i, err)
+		}
+	}
+	if err := w.Check(heap); err != nil {
+		t.Fatalf("mix %s: %v", mix, err)
+	}
+}
+
+func TestMixes(t *testing.T) {
+	for _, mix := range []Mix{A, B, C, D, E, F} {
+		mix := mix
+		t.Run("ycsb-"+mix.String(), func(t *testing.T) { runMix(t, mix, false) })
+	}
+	t.Run("ycsb-a-uniform", func(t *testing.T) { runMix(t, A, true) })
+}
+
+func TestInsertMixGrowsIndex(t *testing.T) {
+	cfg := Config{Mix: D, Records: 256, ValueBytes: 32, Shards: 4, Threads: 1}
+	w := New(cfg)
+	req := w.Requirements()
+	heap := nvm.NewHeap(nvm.Config{Words: req.HeapWords + 1<<18, PersistLatency: nvm.NoLatency})
+	eng, err := nondurable.NewEngine(heap, nondurable.Config{ArenaWords: req.ArenaWords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	th := eng.Register()
+	if err := w.Setup(eng, th); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		if err := w.Run(0, th, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.next.Load(); got <= 256 {
+		t.Fatalf("insert mix never inserted (next=%d)", got)
+	}
+	if err := w.Check(heap); err != nil {
+		t.Fatal(err)
+	}
+}

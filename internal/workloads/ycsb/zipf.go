@@ -1,0 +1,74 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 0..n-1 with the YCSB zipfian distribution (Gray et al.'s
+// "Quickly generating billion-record synthetic databases" algorithm with the
+// YCSB default skew theta = 0.99 — math/rand's Zipf cannot express s < 1, so
+// the generator is implemented here). The struct is immutable after
+// construction; each worker samples with its own rand.Rand, so one generator
+// is safely shared by all workers.
+type Zipf struct {
+	n          uint64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	zeta2theta float64
+	eta        float64
+}
+
+// ZipfTheta is YCSB's default skew constant.
+const ZipfTheta = 0.99
+
+// NewZipf builds a zipfian sampler over 0..n-1. Construction is O(n) (the
+// harmonic-like zeta sum); for benchmark record counts this is a one-time
+// setup cost.
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2theta = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next samples a rank in [0, n): rank 0 is the most popular.
+func (z *Zipf) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// scramble spreads a rank over the key space so that popular keys are not
+// clustered (YCSB's ScrambledZipfianGenerator): adjacent ranks map to
+// unrelated key ids, which keeps hot keys spread across shards.
+func scramble(rank, n uint64) uint64 {
+	h := rank
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h % n
+}

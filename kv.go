@@ -1,0 +1,37 @@
+package crafty
+
+import (
+	"crafty/internal/kv"
+	"crafty/internal/ptm"
+)
+
+// KV is a concurrent, crash-consistent key-value store built on persistent
+// transactions: a sharded open-addressing hash index in persistent memory
+// with variable-length values, tombstone deletes, and incremental per-shard
+// rehash. All operations are failure atomic; after a crash, run the engine
+// recovery (Recover, Reopen, AdvanceClock) and then ReopenKV with the root
+// address returned by (*KV).Root. See DESIGN.md, "Durable key-value store".
+type KV = kv.Store
+
+// KVConfig sizes a key-value store at creation.
+type KVConfig = kv.Config
+
+// KVVerifyReport summarizes a key-value index verification pass.
+type KVVerifyReport = kv.VerifyReport
+
+// NewKV creates a key-value store on the engine's heap. The engine must have
+// been built with a non-zero Config.ArenaWords (the store carves its entry
+// blocks and tables from the allocation arena). Keep the returned store's
+// Root alongside the heap and engine layout so ReopenKV can find it after a
+// crash.
+func NewKV(eng ptm.Engine, th Thread, cfg KVConfig) (*KV, error) {
+	return kv.Create(eng, th, cfg)
+}
+
+// ReopenKV re-materializes a store from its root address after a crash. Call
+// it after the engine-level recovery flow (Recover, then Reopen, then
+// AdvanceClock); it verifies the whole index and rebuilds the allocator's
+// volatile state from the blocks the index still references.
+func ReopenKV(eng ptm.Engine, root Addr) (*KV, error) {
+	return kv.Reopen(eng, root)
+}
