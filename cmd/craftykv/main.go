@@ -17,6 +17,9 @@
 //
 //	PUT <key> <value>   -> OK
 //	GET <key>           -> VAL <value> | NIL
+//	MGET <key> [...]    -> VAL <value> | NIL, one line per key in order
+//	                       (served by Store.MultiGet: same-shard keys share
+//	                       one read-only fast-path transaction)
 //	DEL <key>           -> OK | NIL
 //	LEN                 -> LEN <n>
 //	SYNC                -> OK            (quiesce every worker log: a group
@@ -29,6 +32,12 @@
 //
 //	craftykv -addr :7070 -shards 64 -pool 8
 //	printf 'PUT greeting hello\nGET greeting\n' | nc localhost 7070
+//
+// Responses are written through a per-connection buffered writer that is
+// flushed only once no further request bytes are already buffered, so a
+// pipelined burst of commands costs one write syscall for the whole batch
+// instead of one per response; per-connection scratch buffers are reused
+// across requests, keeping the per-request write path allocation-light.
 package main
 
 import (
@@ -239,29 +248,56 @@ func (s *server) serve(l net.Listener) error {
 	}
 }
 
+// connState is one connection's reusable output state: the buffered writer
+// and the scratch buffers the read commands decode into, reused across
+// requests so the per-request write path does not allocate a fresh response
+// buffer per command.
+type connState struct {
+	out  *bufio.Writer
+	val  []byte   // GET value destination
+	keys [][]byte // MGET key batch
+	dst  []byte   // MGET value storage
+	vals [][]byte // MGET per-key results (aliasing dst)
+}
+
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	out := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimRight(sc.Text(), "\r")
-		if line == "" {
-			continue
-		}
-		keepOpen := s.dispatch(out, line)
-		if err := out.Flush(); err != nil {
+	// The reader size is also the request-line bound: ReadSlice fails with
+	// ErrBufferFull once a newline-free line exceeds it, so a misbehaving
+	// client cannot grow one line without limit.
+	in := bufio.NewReaderSize(conn, 1<<20)
+	st := &connState{out: bufio.NewWriter(conn)}
+	defer st.out.Flush()
+	for {
+		raw, err := in.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			fmt.Fprintln(st.out, "ERR request line too long")
 			return
 		}
-		if !keepOpen {
-			break
+		line := strings.TrimRight(string(raw), "\r\n")
+		if line != "" {
+			if !s.dispatch(st, line) {
+				return
+			}
+		}
+		// Pipelining: flush only when no further request is already buffered,
+		// so a pipelined burst of commands is answered with one write for the
+		// whole batch instead of one write per response.
+		if in.Buffered() == 0 {
+			if ferr := st.out.Flush(); ferr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
 		}
 	}
 }
 
 // dispatch handles one request line; it returns false when the connection
 // should close.
-func (s *server) dispatch(out *bufio.Writer, line string) bool {
+func (s *server) dispatch(st *connState, line string) bool {
+	out := st.out
 	parts := strings.SplitN(line, " ", 3)
 	cmd := strings.ToUpper(parts[0])
 	reply := func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) }
@@ -284,11 +320,10 @@ func (s *server) dispatch(out *bufio.Writer, line string) bool {
 			reply("ERR usage: GET <key>")
 			return true
 		}
-		var val []byte
 		var ok bool
 		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
 			var err error
-			val, ok, err = store.Get(th, []byte(parts[1]), nil)
+			st.val, ok, err = store.Get(th, []byte(parts[1]), st.val[:0])
 			return err
 		})
 		switch {
@@ -297,7 +332,35 @@ func (s *server) dispatch(out *bufio.Writer, line string) bool {
 		case !ok:
 			reply("NIL")
 		default:
-			reply("VAL %s", val)
+			reply("VAL %s", st.val)
+		}
+	case "MGET":
+		st.keys = st.keys[:0]
+		for _, k := range strings.Fields(line)[1:] {
+			st.keys = append(st.keys, []byte(k))
+		}
+		// Validate the parsed key list, not the raw token count: "MGET "
+		// splits into two tokens but carries no keys, and the protocol owes
+		// the client exactly one line per key or an error.
+		if len(st.keys) == 0 {
+			reply("ERR usage: MGET <key> [<key> ...]")
+			return true
+		}
+		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
+			var err error
+			st.dst, st.vals, err = store.MultiGet(th, st.keys, st.dst[:0], st.vals)
+			return err
+		})
+		if err != nil {
+			reply("ERR %v", err)
+			return true
+		}
+		for _, v := range st.vals {
+			if v == nil {
+				reply("NIL")
+			} else {
+				reply("VAL %s", v)
+			}
 		}
 	case "DEL":
 		if len(parts) != 2 {

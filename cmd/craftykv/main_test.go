@@ -84,6 +84,77 @@ func TestProtocolBasics(t *testing.T) {
 	c.expect(t, "QUIT", "BYE")
 }
 
+// readLine reads one reply line without sending anything.
+func (c *client) readLine(t *testing.T) string {
+	t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// expectLines asserts the next replies, in order.
+func (c *client) expectLines(t *testing.T, want ...string) {
+	t.Helper()
+	for _, w := range want {
+		if got := c.readLine(t); got != w {
+			t.Fatalf("got %q, want %q", got, w)
+		}
+	}
+}
+
+func TestMGET(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.expect(t, "PUT alpha one", "OK")
+	c.expect(t, "PUT beta two", "OK")
+	c.expect(t, "MGET", "ERR usage: MGET <key> [<key> ...]")
+	c.expect(t, "MGET ", "ERR usage: MGET <key> [<key> ...]")
+	if _, err := fmt.Fprintf(c.conn, "MGET alpha missing beta alpha\n"); err != nil {
+		t.Fatal(err)
+	}
+	c.expectLines(t, "VAL one", "NIL", "VAL two", "VAL one")
+	// The connection stays usable for ordinary commands afterwards.
+	c.expect(t, "GET beta", "VAL two")
+}
+
+// TestPipelinedBurst sends a batch of commands in a single write and checks
+// every response arrives, in order — the server flushes its per-connection
+// buffered writer only once the request burst is drained.
+func TestPipelinedBurst(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	burst := "PUT k1 v1\nPUT k2 v2\nGET k1\nMGET k1 k2 nope\nLEN\nGET nope\n"
+	if _, err := c.conn.Write([]byte(burst)); err != nil {
+		t.Fatal(err)
+	}
+	c.expectLines(t,
+		"OK", "OK",
+		"VAL v1",
+		"VAL v1", "VAL v2", "NIL",
+		"LEN 2",
+		"NIL",
+	)
+}
+
+// TestOverlongLineRejected proves a newline-free stream cannot grow one
+// request line without bound: the server errors out and drops the
+// connection once the line exceeds the reader buffer.
+func TestOverlongLineRejected(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.conn.Write([]byte(strings.Repeat("a", 1<<20+512))); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.readLine(t); got != "ERR request line too long" {
+		t.Fatalf("got %q, want the too-long error", got)
+	}
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after over-long line")
+	}
+}
+
 // TestConcurrentClients exercises several connections writing and reading
 // disjoint key ranges at once.
 func TestConcurrentClients(t *testing.T) {

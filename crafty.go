@@ -17,6 +17,15 @@
 //	    return nil
 //	})
 //
+//	// Read-only bodies should use AtomicRead: a single hardware
+//	// transaction with no logging, no persist barriers, and no
+//	// allocations (mutations fail with ErrReadOnlyTx).
+//	var v uint64
+//	_ = th.AtomicRead(func(tx crafty.Tx) error {
+//	    v = tx.Load(root)
+//	    return nil
+//	})
+//
 //	// ... after a crash (heap.Crash in the emulation):
 //	report, _ := crafty.Recover(heap, layout)
 //	eng, _ = crafty.Reopen(heap, layout, crafty.Config{})
@@ -95,6 +104,11 @@ type RecoveryReport = ptm.RecoveryReport
 // ErrAborted is wrapped by errors returned when a transaction body requests
 // abandonment by returning an error.
 var ErrAborted = ptm.ErrAborted
+
+// ErrReadOnlyTx is returned by Thread.AtomicRead when the body attempted a
+// mutation (Store, Alloc, or Free): read-only transactions run on a fast
+// path with no undo logging, so mutating through one is refused outright.
+var ErrReadOnlyTx = ptm.ErrReadOnlyTx
 
 // Config configures a Crafty engine; the zero value provides full ACID
 // (thread-safe) transactions with the paper's default parameters.

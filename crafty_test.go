@@ -1,6 +1,7 @@
 package crafty_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -70,6 +71,27 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if got := heap.Load(counter); got != recovered+1 {
 		t.Fatalf("post-recovery counter = %d, want %d", got, recovered+1)
+	}
+
+	// The read fast path observes the committed state and refuses mutations.
+	var got uint64
+	if err := th.AtomicRead(func(tx crafty.Tx) error {
+		got = tx.Load(counter)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != recovered+1 {
+		t.Fatalf("AtomicRead saw %d, want %d", got, recovered+1)
+	}
+	if err := th.AtomicRead(func(tx crafty.Tx) error {
+		tx.Store(counter, 0)
+		return nil
+	}); !errors.Is(err, crafty.ErrReadOnlyTx) {
+		t.Fatalf("mutation through AtomicRead: error %v, want ErrReadOnlyTx", err)
+	}
+	if heap.Load(counter) != recovered+1 {
+		t.Fatal("rejected mutation leaked into the heap")
 	}
 }
 

@@ -60,5 +60,15 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("counter after the post-recovery transaction:", heap.Load(counter))
+
+	// Read-only bodies use AtomicRead: a single hardware transaction with no
+	// logging or persist barriers (mutations would fail with ErrReadOnlyTx).
+	var final uint64
+	if err := th2.AtomicRead(func(tx crafty.Tx) error {
+		final = tx.Load(counter)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("counter after the post-recovery transaction:", final)
 }

@@ -34,9 +34,7 @@ import (
 
 // lastTS returns the timestamp of the log's most recent sequence.
 func (l *undoLog) lastTS() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.lastLoggedTS
+	return l.lastLoggedTS.Load()
 }
 
 // ensureLogSpace runs the overwrite check the first time the thread is about
@@ -165,8 +163,8 @@ func (u *Thread) forceEmpty(flusher *nvm.Flusher, ts uint64) bool {
 	for _, rec := range u.log.lastSequenceEntriesLocked() {
 		flusher.Flush(rec.addr)
 	}
-	if u.log.head >= u.log.capEntries {
-		if u.log.lastTSOfHalf[0] >= u.eng.tsLowerBound.Load() {
+	if int(u.log.head.Load()) >= u.log.capEntries {
+		if u.log.lastTSOfHalf[0].Load() >= u.eng.tsLowerBound.Load() {
 			// The owner's oldest half may still be needed by recovery; try
 			// again once other delinquent threads have raised the bound.
 			return false

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"crafty/internal/htm"
 	"crafty/internal/nvm"
@@ -91,32 +92,49 @@ type storer interface {
 // The slots [0, capEntries) live in NVM starting at base, two words per
 // entry. head and epoch are volatile (recovery reconstructs everything it
 // needs from the persisted words alone). The owning thread appends entries;
-// other threads may append an empty LOGGED entry through ForceEmptyLogged
-// when the owner is delinquent (Section 5.2), which is why head manipulation
-// is guarded by mu.
+// other threads may append an empty LOGGED entry through forceEmpty when the
+// owner is delinquent (Section 5.2).
+//
+// The bookkeeping runs under an owner-claim protocol (DESIGN.md §6) so the
+// owner's per-transaction hot path never takes a lock:
+//
+//   - every mutable field is an atomic, so either side's reads are always
+//     well-defined;
+//   - the owner claims the log by storing Thread.appending = true and then
+//     acquiring and releasing mu once (snapshotHead). The acquisition drains
+//     any forcer already past its appending check; every later forcer sees
+//     appending == true and bails. From the snapshot until the owner clears
+//     appending, the owner mutates head/epoch/halves with plain atomic
+//     stores — no lock;
+//   - cross-thread forcers hold mu for their whole critical section
+//     (re-checking appending inside it), which serializes forcers against
+//     each other and against the owner's claim point. The owner also takes
+//     mu on the rare unclaimed wrap path (makeRoom).
 type undoLog struct {
 	heap       *nvm.Heap
 	base       nvm.Addr
 	capEntries int
 
+	// mu serializes cross-thread forcers (forceEmpty) and the owner's claim
+	// point; the owner's per-transaction bookkeeping does not take it.
 	mu    sync.Mutex
-	head  int
-	epoch uint64 // starts at 1 so the wrap bit of a fresh log differs from zeroed memory
+	head  atomic.Int64
+	epoch atomic.Uint64 // starts at 1 so the wrap bit of a fresh log differs from zeroed memory
 
 	// lastTSOfHalf records the newest timestamp written into each half of the
 	// log during the half's most recent pass. Before a later pass may
 	// overwrite a half, every entry in it must have become unnecessary for
 	// recovery, i.e. lastTSOfHalf[half] < tsLowerBound (the Section 5.2 log
 	// reuse condition; see Thread.checkOverwrite).
-	lastTSOfHalf [2]uint64
+	lastTSOfHalf [2]atomic.Uint64
 
 	// lastLoggedTS is the timestamp of the thread's most recent LOGGED or
 	// COMMITTED entry.
-	lastLoggedTS uint64
+	lastLoggedTS atomic.Uint64
 
 	// checkedHalf records whether the Section 5.2 overwrite condition has
 	// been verified for each half of the log during the current epoch.
-	checkedHalf [2]bool
+	checkedHalf [2]atomic.Bool
 }
 
 // newUndoLog carves a circular log of capEntries entries from the heap.
@@ -134,20 +152,22 @@ func newUndoLog(heap *nvm.Heap, capEntries int) (*undoLog, error) {
 // openUndoLog attaches to an existing log region (used when re-registering
 // threads after recovery reuses directory slots).
 func openUndoLog(heap *nvm.Heap, base nvm.Addr, capEntries int) *undoLog {
-	return &undoLog{heap: heap, base: base, capEntries: capEntries, epoch: 1}
+	l := &undoLog{heap: heap, base: base, capEntries: capEntries}
+	l.epoch.Store(1)
+	return l
 }
 
 // wrapBit returns the wraparound bit for the current epoch.
-func (l *undoLog) wrapBit() uint64 { return l.epoch & 1 }
+func (l *undoLog) wrapBit() uint64 { return l.epoch.Load() & 1 }
 
 // slotAddr returns the address of the tag word of entry slot i.
 func (l *undoLog) slotAddr(i int) nvm.Addr { return l.base + nvm.Addr(i*entryWords) }
 
 // entriesLeft reports how many entry slots remain before the log must wrap.
+// Lock-free: the owner calls it at transaction start, and a stale value only
+// costs a retry through reserveSlots' re-check.
 func (l *undoLog) entriesLeft() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.capEntries - l.head
+	return l.capEntries - int(l.head.Load())
 }
 
 // writeEntry writes one encoded entry into slot using the given storer.
@@ -183,25 +203,27 @@ func (l *undoLog) halfOf(slot int) int {
 // appended (the batch's hardware transaction committed) and maintains the
 // per-half newest-timestamp bookkeeping; ts is the timestamp of the batch's
 // marker entry. The head is set to startSlot+n rather than incremented so
-// that a racing forceEmptyLogged by another thread (whose empty marker the
-// batch simply overwrote) cannot desynchronize the slot accounting.
+// that a forceEmpty that slipped in before the owner's claim (whose empty
+// marker the batch simply overwrote) cannot desynchronize the slot
+// accounting. Owner hot path: the caller holds the owner claim (appending is
+// true and snapshotHead has run), so no lock is taken.
 func (l *undoLog) advance(startSlot, n int, ts uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.lastTSOfHalf[l.halfOf(startSlot)] = ts
-	l.head = startSlot + n
-	if l.head > l.capEntries/2 && startSlot <= l.capEntries/2 {
+	l.lastTSOfHalf[l.halfOf(startSlot)].Store(ts)
+	l.head.Store(int64(startSlot + n))
+	if startSlot+n > l.capEntries/2 && startSlot <= l.capEntries/2 {
 		// The batch spilled into the second half; attribute its timestamp
 		// there too so the reuse check stays conservative.
-		l.lastTSOfHalf[1] = ts
+		l.lastTSOfHalf[1].Store(ts)
 	}
-	l.lastLoggedTS = ts
+	l.lastLoggedTS.Store(ts)
 }
 
 // wrap starts a new epoch at slot 0. The caller must already have verified
 // the overwrite condition of Section 5.2 for the first half (see
 // Thread.checkOverwrite); checkedAlready records that fact so the owner does
-// not re-run the check for the first half of the fresh epoch.
+// not re-run the check for the first half of the fresh epoch. wrap runs on
+// the owner's unclaimed retry path (makeRoom), so it takes mu to exclude a
+// concurrent forcer.
 func (l *undoLog) wrap(checkedAlready bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -210,27 +232,26 @@ func (l *undoLog) wrap(checkedAlready bool) {
 
 // wrapLocked is wrap for callers that already hold l.mu.
 func (l *undoLog) wrapLocked(checkedAlready bool) {
-	l.epoch++
-	l.head = 0
-	l.checkedHalf[0] = checkedAlready
-	l.checkedHalf[1] = false
+	l.epoch.Add(1)
+	l.head.Store(0)
+	l.checkedHalf[0].Store(checkedAlready)
+	l.checkedHalf[1].Store(false)
 }
 
 // needsCheck reports whether the overwrite condition still has to be verified
 // before writing into the given half during the current epoch, and
-// markChecked records that it has been.
+// markChecked records that it has been. Both are owner-side atomics: a forcer
+// only ever resets them under mu while the owner is not appending, and a
+// reset racing the owner's pre-claim check at worst repeats the (idempotent,
+// conservative) overwrite check.
 func (l *undoLog) needsCheck(half int) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return !l.checkedHalf[half]
+	return !l.checkedHalf[half].Load()
 }
 
 // markChecked records that the overwrite condition has been verified for the
 // given half of the current epoch.
 func (l *undoLog) markChecked(half int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.checkedHalf[half] = true
+	l.checkedHalf[half].Store(true)
 }
 
 // overwriteBoundTS returns the newest timestamp residing in the given half
@@ -238,16 +259,19 @@ func (l *undoLog) markChecked(half int) {
 // must be older than tsLowerBound. Zero means the half has never held
 // entries, so overwriting it is trivially safe.
 func (l *undoLog) overwriteBoundTS(half int) uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.lastTSOfHalf[half]
+	return l.lastTSOfHalf[half].Load()
 }
 
-// snapshotHead returns the current head and epoch under the log's lock.
+// snapshotHead returns the current head and epoch. Acquiring and releasing mu
+// is the owner's claim point: the caller has already published
+// Thread.appending = true, so once this lock round-trip completes, any forcer
+// either finished before it (and its head update is visible here) or will see
+// appending == true and bail — the owner may then mutate the log's
+// bookkeeping lock-free until it clears appending.
 func (l *undoLog) snapshotHead() (head int, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.head, l.epoch
+	return int(l.head.Load()), l.epoch.Load()
 }
 
 // appendEmptyLoggedLocked appends an empty ⟨LOGGED, ts⟩ sequence and persists
@@ -256,18 +280,19 @@ func (l *undoLog) snapshotHead() (head int, epoch uint64) {
 // previous sequence durable (see Thread.forceEmpty). The flusher belongs to
 // the forcing thread.
 func (l *undoLog) appendEmptyLoggedLocked(flusher *nvm.Flusher, ts uint64) bool {
-	if l.head >= l.capEntries {
+	head := int(l.head.Load())
+	if head >= l.capEntries {
 		return false
 	}
-	tagWord, payloadWord := encodeEntry(markerLogged, ts, l.epoch&1)
-	addr := l.slotAddr(l.head)
+	tagWord, payloadWord := encodeEntry(markerLogged, ts, l.wrapBit())
+	addr := l.slotAddr(head)
 	l.heap.Store(addr, tagWord)
 	l.heap.Store(addr+1, payloadWord)
 	flusher.FlushRange(addr, entryWords)
 	flusher.Drain()
-	l.lastTSOfHalf[l.halfOf(l.head)] = ts
-	l.head++
-	l.lastLoggedTS = ts
+	l.lastTSOfHalf[l.halfOf(head)].Store(ts)
+	l.head.Store(int64(head + 1))
+	l.lastLoggedTS.Store(ts)
 	return true
 }
 
@@ -275,13 +300,14 @@ func (l *undoLog) appendEmptyLoggedLocked(flusher *nvm.Flusher, ts uint64) bool 
 // sequence (the entries between the second-to-last marker and the last
 // marker). The caller must hold l.mu.
 func (l *undoLog) lastSequenceEntriesLocked() []undoRec {
-	if l.head == 0 {
+	head := int(l.head.Load())
+	if head == 0 {
 		return nil
 	}
 	// Slot head-1 is the most recent marker; walk backwards over the data
 	// entries that precede it.
 	var entries []undoRec
-	for slot := l.head - 2; slot >= 0; slot-- {
+	for slot := head - 2; slot >= 0; slot-- {
 		tagWord := l.heap.Load(l.slotAddr(slot))
 		payloadWord := l.heap.Load(l.slotAddr(slot) + 1)
 		tag, _, _, _ := decodeEntry(tagWord, payloadWord)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// benchReadEngine builds a Crafty engine and a warm thread over a small data
+// region for the read-path benchmarks.
+func benchReadEngine(b *testing.B) (*Engine, *Thread, nvm.Addr) {
+	b.Helper()
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 18, PersistLatency: nvm.NoLatency})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := heap.MustCarve(8 * nvm.WordsPerLine)
+	for w := 0; w < 8; w++ {
+		heap.Store(data+nvm.Addr(w*nvm.WordsPerLine), uint64(w))
+	}
+	th, err := eng.RegisterThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, th, data
+}
+
+// readBody is the benchmarked read-only transaction body: four loads across
+// distinct cache lines, the shape of a small point lookup.
+func readBody(data nvm.Addr, sink *uint64) func(tx ptm.Tx) error {
+	return func(tx ptm.Tx) error {
+		s := *sink
+		for w := 0; w < 4; w++ {
+			s += tx.Load(data + nvm.Addr(w*nvm.WordsPerLine))
+		}
+		*sink = s
+		return nil
+	}
+}
+
+// BenchmarkReadPathAtomic measures a read-only body executed through the
+// general Atomic path: log-space checks, the gLastRedoTS pre-read, and the
+// Log phase's read-only detection all run even though nothing is written.
+// It is the "before" of the AtomicRead fast path.
+func BenchmarkReadPathAtomic(b *testing.B) {
+	_, th, data := benchReadEngine(b)
+	var sink uint64
+	body := readBody(data, &sink)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Atomic(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadPathAtomicRead measures the same body on the dedicated
+// read-only fast path: one hardware transaction, no undo-log interaction,
+// no timestamp pre-read, no allocation scope.
+func BenchmarkReadPathAtomicRead(b *testing.B) {
+	_, th, data := benchReadEngine(b)
+	var sink uint64
+	body := readBody(data, &sink)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.AtomicRead(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadPathParallelReaders drives the fast path from many goroutines
+// at once (each with its own registered thread), the shape of read-mostly
+// serving traffic: read-only hardware transactions never conflict, so
+// throughput should scale with GOMAXPROCS.
+func BenchmarkReadPathParallelReaders(b *testing.B) {
+	eng, _, data := benchReadEngine(b)
+	var sinks atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		th, err := eng.RegisterThread()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink uint64
+		body := readBody(data, &sink)
+		for pb.Next() {
+			if err := th.AtomicRead(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sinks.Add(sink)
+	})
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// TestAtomicReadSteadyStateAllocs gates the allocation-free read fast path:
+// a read-only transaction served by AtomicRead must not allocate at all once
+// the thread's reusable state is warm.
+func TestAtomicReadSteadyStateAllocs(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 18, PersistLatency: nvm.NoLatency})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := heap.MustCarve(8 * nvm.WordsPerLine)
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink uint64
+	body := func(tx ptm.Tx) error {
+		for w := 0; w < 4; w++ {
+			sink += tx.Load(data + nvm.Addr(w*nvm.WordsPerLine))
+		}
+		return nil
+	}
+	for i := 0; i < 20; i++ {
+		if err := th.AtomicRead(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := th.AtomicRead(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AtomicRead allocated %v times per run, want 0", allocs)
+	}
+	if s := th.Stats(); s.Persistent[ptm.OutcomeReadOnly] == 0 {
+		t.Fatalf("expected Read Only outcomes, got %+v", s.Persistent)
+	}
+	_ = sink
+}
+
+// TestAtomicReadFastPathSkipsLogging checks the structural claim behind the
+// fast path: read-only transactions leave the thread's undo log untouched
+// (no space reservation, no entries, no markers) and perform no persist
+// operations.
+func TestAtomicReadFastPathSkipsLogging(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 18, PersistLatency: nvm.NoLatency, TrackPersistence: true})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := heap.MustCarve(8)
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushesBefore := heap.Stats().Flushes
+	for i := 0; i < 100; i++ {
+		if err := th.AtomicRead(func(tx ptm.Tx) error {
+			_ = tx.Load(data)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if head, _ := th.log.snapshotHead(); head != 0 {
+		t.Fatalf("read-only transactions appended %d log entries", head)
+	}
+	if ts := th.log.lastTS(); ts != 0 {
+		t.Fatalf("read-only transactions published a log timestamp %d", ts)
+	}
+	if got := heap.Stats().Flushes; got != flushesBefore {
+		t.Fatalf("read-only transactions issued %d flushes", got-flushesBefore)
+	}
+}
+
+// TestAtomicReadThreadUnsafeMode covers the read path in thread-unsafe mode,
+// where the caller supplies thread atomicity and reads go straight to the
+// heap.
+func TestAtomicReadThreadUnsafeMode(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 16, PersistLatency: nvm.NoLatency})
+	eng, err := NewEngine(heap, Config{Mode: ThreadUnsafe, LogEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := heap.MustCarve(8)
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := th.AtomicRead(func(tx ptm.Tx) error {
+		got = tx.Load(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("read %d, want 7", got)
+	}
+	if err := th.AtomicRead(func(tx ptm.Tx) error {
+		tx.Store(data, 0)
+		return nil
+	}); !errors.Is(err, ptm.ErrReadOnlyTx) {
+		t.Fatalf("mutation error %v, want ErrReadOnlyTx", err)
+	}
+	if heap.Load(data) != 7 {
+		t.Fatal("rejected mutation leaked")
+	}
+}
+
+// TestCrashBetweenFastPathReadAndWriterCommit covers the acceptance
+// scenario for the read fast path's recovery story: fast-path reads run
+// concurrently with writers, a final read observes committed state, one more
+// writer commit lands, and the crash hits before that commit's write-backs
+// are known durable. Recovery must roll back to a consistent prefix even
+// though the reader threads' logs are completely empty (reads log nothing),
+// and the pre-crash read must have seen an untorn snapshot.
+func TestCrashBetweenFastPathReadAndWriterCommit(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 20, PersistLatency: nvm.NoLatency, TrackPersistence: true})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := heap.MustCarve(2 * nvm.WordsPerLine)
+	second := pair + nvm.WordsPerLine
+
+	const writers = 2
+	const readers = 2
+	const perThread = 150
+	var wg sync.WaitGroup
+	errs := make([]error, writers+readers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := eng.Register()
+			for i := 0; i < perThread; i++ {
+				if err := th.Atomic(func(tx ptm.Tx) error {
+					v := tx.Load(pair) + 1
+					tx.Store(pair, v)
+					tx.Store(second, v)
+					return nil
+				}); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := eng.Register()
+			for i := 0; i < perThread; i++ {
+				if err := th.AtomicRead(func(tx ptm.Tx) error {
+					if a, b := tx.Load(pair), tx.Load(second); a != b {
+						t.Errorf("fast-path read saw torn pair: %d vs %d", a, b)
+					}
+					return nil
+				}); err != nil {
+					errs[writers+g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	// The crash window: a fast-path read observes the committed count, then
+	// a writer commits once more; the crash lands before anything further is
+	// drained, so recovery may roll that last commit back — but never the
+	// state the read observed torn.
+	reader := eng.Register()
+	writer := eng.Register()
+	var observed uint64
+	if err := reader.AtomicRead(func(tx ptm.Tx) error {
+		observed = tx.Load(pair)
+		if b := tx.Load(second); b != observed {
+			return errors.New("torn pre-crash read")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Atomic(func(tx ptm.Tx) error {
+		v := tx.Load(pair) + 1
+		tx.Store(pair, v)
+		tx.Store(second, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	heap.Crash(nvm.NewRandomPolicy(5, 0.5))
+	report, err := Recover(heap, eng.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := heap.Load(pair), heap.Load(second)
+	if a != b {
+		t.Fatalf("pair torn after recovery: %d vs %d", a, b)
+	}
+	if a > observed+1 {
+		t.Fatalf("recovered count %d exceeds committed history %d", a, observed+1)
+	}
+
+	// Reopen and keep serving fast-path reads over the recovered state.
+	eng2, err := Open(heap, eng.Layout(), Config{LogEntries: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.AdvanceClock(report.MaxTimestamp)
+	th := eng2.Register()
+	if err := th.AtomicRead(func(tx ptm.Tx) error {
+		if x, y := tx.Load(pair), tx.Load(second); x != y {
+			return errors.New("torn post-recovery read")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

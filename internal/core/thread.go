@@ -71,10 +71,12 @@ type Thread struct {
 	redo []redoRec
 
 	// Per-transaction scratch reused so the steady-state path allocates
-	// nothing: the attempt state, the ptm.Tx adapter handed to the body, and
-	// the line buffer flushCommit deduplicates written lines through.
+	// nothing: the attempt state, the ptm.Tx adapters handed to bodies (the
+	// full adapter and the read-only one), and the line buffer flushCommit
+	// deduplicates written lines through.
 	a          attempt
 	ctx        craftyTx
+	ro         roTx
 	flushLines []uint64
 
 	// lastCommittedTS publishes the timestamp of this thread's most recent
@@ -333,6 +335,107 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		}
 		t.prepareRetry()
 	}
+}
+
+// roTx is the read-only ptm.Tx adapter of the fast path. It is specialized
+// to its two concrete load sources (the speculative hardware transaction, or
+// the heap directly under the SGL / in thread-unsafe mode) rather than using
+// the generic ptm.ROTx, saving one dynamic dispatch per load — loads are the
+// entire cost of a read-only body. Mutations fail the transaction.
+type roTx struct {
+	hwtx *htm.Tx // speculative source; nil on the direct-read paths
+	heap *nvm.Heap
+}
+
+// Load implements ptm.Tx.
+func (r *roTx) Load(addr nvm.Addr) uint64 {
+	if r.hwtx != nil {
+		return r.hwtx.Load(addr)
+	}
+	return r.heap.Load(addr)
+}
+
+// Store implements ptm.Tx by failing the read-only transaction.
+func (r *roTx) Store(nvm.Addr, uint64) { ptm.FailReadOnly() }
+
+// Alloc implements ptm.Tx by failing the read-only transaction.
+func (r *roTx) Alloc(int) nvm.Addr { ptm.FailReadOnly(); return nvm.NilAddr }
+
+// Free implements ptm.Tx by failing the read-only transaction.
+func (r *roTx) Free(nvm.Addr) { ptm.FailReadOnly() }
+
+// AtomicRead implements ptm.Thread: it executes body as one read-only
+// persistent transaction at the cost the paper's model promises for reads —
+// a single hardware transaction, with no undo-log space reservation, no
+// gLastRedoTS snapshot, no allocation scope, no persist operations, and no
+// phase yield. A read-only body publishes nothing, so nothing needs logging
+// or flushing: the hardware transaction alone provides the atomic snapshot
+// (DESIGN.md §6). Mutations fail the transaction with ptm.ErrReadOnlyTx.
+// After repeated hardware aborts the body runs to completion under the
+// single global lock, which read-only bodies may hold without any chunking:
+// there is nothing to log, so progress is guaranteed.
+func (t *Thread) AtomicRead(body func(tx ptm.Tx) error) (err error) {
+	defer ptm.CatchReadOnly(&err)
+	if t.eng.cfg.Mode == ThreadUnsafe {
+		// The caller supplies thread atomicity, so direct heap reads already
+		// observe a stable snapshot.
+		t.ro = roTx{heap: t.eng.heap}
+		if berr := body(&t.ro); berr != nil {
+			t.userAborts++
+			return fmt.Errorf("%w: %w", ptm.ErrAborted, berr)
+		}
+		t.outcomes[ptm.OutcomeReadOnly]++
+		return nil
+	}
+
+	failures := 0
+	for {
+		a := &t.a
+		a.sglBusy = false
+		a.userErr = nil
+		cause := t.hw.Run(func(hwtx *htm.Tx) {
+			if hwtx.Load(t.eng.sglAddr) != 0 {
+				a.sglBusy = true
+				hwtx.Abort()
+			}
+			t.ro = roTx{hwtx: hwtx}
+			if berr := body(&t.ro); berr != nil {
+				a.userErr = berr
+				hwtx.Abort()
+			}
+		})
+		if a.userErr != nil {
+			t.userAborts++
+			return fmt.Errorf("%w: %w", ptm.ErrAborted, a.userErr)
+		}
+		if cause == htm.CauseNone {
+			t.outcomes[ptm.OutcomeReadOnly]++
+			return nil
+		}
+		if a.sglBusy {
+			t.waitForSGL()
+		}
+		if failures++; failures > t.eng.cfg.MaxRetries {
+			return t.readSGL(body)
+		}
+	}
+}
+
+// readSGL completes a read-only transaction under the single global lock:
+// with every speculative transaction excluded and in-flight commits
+// quiesced, direct heap reads are a consistent snapshot.
+func (t *Thread) readSGL(body func(tx ptm.Tx) error) error {
+	for !t.eng.hw.NonTxCAS(t.eng.sglAddr, 0, 1) {
+	}
+	t.eng.hw.QuiesceCommitters()
+	defer t.eng.hw.NonTxStore(t.eng.sglAddr, 0)
+	t.ro = roTx{heap: t.eng.heap}
+	if err := body(&t.ro); err != nil {
+		t.userAborts++
+		return fmt.Errorf("%w: %w", ptm.ErrAborted, err)
+	}
+	t.outcomes[ptm.OutcomeSGL]++
+	return nil
 }
 
 // abandon discards the transaction after the body returned an error.

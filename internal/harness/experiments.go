@@ -134,6 +134,7 @@ func Figures() map[string]Figure {
 			Workloads: []WorkloadFactory{
 				ycsbFactory(ycsb.A, false),
 				ycsbFactory(ycsb.B, false),
+				ycsbFactory(ycsb.C, false),
 			},
 			Engines: KVEngines,
 			Threads: DefaultThreads,

@@ -1,0 +1,112 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"crafty/internal/core"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+// benchStore builds a populated store over a Crafty engine.
+func benchStore(b *testing.B, records int) (*Store, ptm.Thread) {
+	b.Helper()
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 22, PersistLatency: nvm.NoLatency})
+	eng, err := core.NewEngine(heap, core.Config{ArenaWords: 1 << 20, LogEntries: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := eng.Register()
+	s, err := Create(eng, th, Config{Shards: 16, InitialSlotsPerShard: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		if err := s.Put(th, fmt.Appendf(nil, "user%d", i), fmt.Appendf(nil, "value-%d-0123456789abcdef", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, th
+}
+
+// BenchmarkKVGetViaAtomic is the "before" of the KV read path: the same
+// lookup body executed through the general Atomic machinery.
+func BenchmarkKVGetViaAtomic(b *testing.B) {
+	s, th := benchStore(b, 1024)
+	key := []byte("user512")
+	var dst []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := th.Atomic(func(tx ptm.Tx) error {
+			var ok bool
+			dst, ok = s.GetTx(tx, key, dst[:0])
+			if !ok {
+				return fmt.Errorf("missing key")
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVGet measures Store.Get, which runs on the read-only fast path
+// (AtomicRead): with a reused destination buffer the steady state allocates
+// nothing.
+func BenchmarkKVGet(b *testing.B) {
+	s, th := benchStore(b, 1024)
+	key := []byte("user512")
+	var dst []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		var err error
+		dst, ok, err = s.Get(th, key, dst[:0])
+		if err != nil || !ok {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkKVLen measures the read-only shard-header sweep.
+func BenchmarkKVLen(b *testing.B) {
+	s, th := benchStore(b, 1024)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := s.Len(th)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += n
+	}
+	_ = sink
+}
+
+// BenchmarkKVMultiGet64 measures a 64-key batch through MultiGet over a
+// 16-shard store: same-shard keys share one read-only transaction (about
+// four keys per transaction here), so the per-key cost — reported as the
+// ns/key metric — drops below a single Get's.
+func BenchmarkKVMultiGet64(b *testing.B) {
+	s, th := benchStore(b, 1024)
+	var keys [][]byte
+	for i := 0; i < 64; i++ {
+		keys = append(keys, fmt.Appendf(nil, "user%d", i*13))
+	}
+	var dst []byte
+	var vals [][]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, vals, err = s.MultiGet(th, keys, dst[:0], vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != 64 {
+			b.Fatalf("%d results", len(vals))
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/key")
+}

@@ -100,6 +100,121 @@ func TestPutGetDelete(t *testing.T) {
 	}
 }
 
+// TestMultiGet checks the batched read path: hits and misses interleaved in
+// key order, values aliasing the shared destination buffer, duplicates, and
+// batches larger than the shard count (so several keys share one shard's
+// transaction).
+func TestMultiGet(t *testing.T) {
+	eng, _ := newNonDurable(t, 1<<21, 1<<19)
+	th := eng.Register()
+	s := mustCreate(t, eng, th, Config{Shards: 4, InitialSlotsPerShard: 64})
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		key := fmt.Appendf(nil, "key%03d", i)
+		val := fmt.Appendf(nil, "value-%03d", i)
+		if err := s.Put(th, key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var keys [][]byte
+	for i := 0; i < n; i += 2 {
+		keys = append(keys, fmt.Appendf(nil, "key%03d", i))  // present
+		keys = append(keys, fmt.Appendf(nil, "nope%03d", i)) // absent
+	}
+	keys = append(keys, keys[0]) // duplicate key in one batch
+
+	dst, vals, err := s.MultiGet(th, keys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(keys) {
+		t.Fatalf("got %d results for %d keys", len(vals), len(keys))
+	}
+	for i, key := range keys {
+		want := ""
+		if string(key[:3]) == "key" {
+			want = "value-" + string(key[3:])
+		}
+		switch {
+		case want == "" && vals[i] != nil:
+			t.Fatalf("key %q: got %q, want miss", key, vals[i])
+		case want != "" && string(vals[i]) != want:
+			t.Fatalf("key %q: got %q, want %q", key, vals[i], want)
+		}
+	}
+
+	// Reusing the returned buffers must not change the results.
+	dst, vals, err = s.MultiGet(th, keys[:4], dst[:0], vals)
+	if err != nil || len(vals) != 4 {
+		t.Fatalf("reused-buffer batch: %d results, err=%v", len(vals), err)
+	}
+	if string(vals[0]) != "value-000" || vals[1] != nil {
+		t.Fatalf("reused-buffer batch: got %q, %q", vals[0], vals[1])
+	}
+	_ = dst
+
+	// An empty batch is legal.
+	if _, vals, err := s.MultiGet(th, nil, nil, nil); err != nil || len(vals) != 0 {
+		t.Fatalf("empty batch: %d results, err=%v", len(vals), err)
+	}
+}
+
+// TestMultiGetMatchesGet cross-checks MultiGet against repeated Get over a
+// randomly populated store, on both a plain HTM engine and Crafty (whose
+// read-only fast path serves each shard group in one hardware transaction).
+func TestMultiGetMatchesGet(t *testing.T) {
+	engines := map[string]func(t *testing.T) ptm.Engine{
+		"nondurable": func(t *testing.T) ptm.Engine {
+			eng, _ := newNonDurable(t, 1<<21, 1<<19)
+			return eng
+		},
+		"crafty": func(t *testing.T) ptm.Engine {
+			heap := nvm.NewHeap(nvm.Config{Words: 1 << 21, PersistLatency: nvm.NoLatency})
+			eng, err := core.NewEngine(heap, core.Config{ArenaWords: 1 << 19, LogEntries: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { eng.Close() })
+			return eng
+		},
+	}
+	for name, build := range engines {
+		t.Run(name, func(t *testing.T) {
+			eng := build(t)
+			th := eng.Register()
+			s := mustCreate(t, eng, th, Config{Shards: 8, InitialSlotsPerShard: 64})
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 200; i++ {
+				if err := s.Put(th, fmt.Appendf(nil, "k%d", rng.Intn(300)), fmt.Appendf(nil, "v%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var keys [][]byte
+			for i := 0; i < 300; i++ {
+				keys = append(keys, fmt.Appendf(nil, "k%d", i))
+			}
+			_, vals, err := s.MultiGet(th, keys, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, key := range keys {
+				want, ok, err := s.Get(th, key, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch {
+				case !ok && vals[i] != nil:
+					t.Fatalf("key %q: MultiGet hit %q, Get miss", key, vals[i])
+				case ok && string(vals[i]) != string(want):
+					t.Fatalf("key %q: MultiGet %q, Get %q", key, vals[i], want)
+				}
+			}
+		})
+	}
+}
+
 // TestRandomAgainstModel drives random puts, updates, deletes, and lookups
 // against an in-memory model, with tables small enough that every shard
 // rehashes several times.

@@ -113,6 +113,9 @@ type Thread struct {
 	hw      *htm.Thread
 	txAlloc *alloc.TxLog
 
+	// ro is the reusable read-only adapter handed to AtomicRead bodies.
+	ro ptm.ROTx
+
 	outcomes   [ptm.NumOutcomes]uint64
 	writes     uint64
 	userAborts uint64
@@ -245,6 +248,49 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 	}
 	x.apply()
 	return t.commit(x.writes, ptm.OutcomeSGL)
+}
+
+// AtomicRead implements ptm.Thread: the body runs in one hardware
+// transaction with a read-only adapter (mutations fail with
+// ptm.ErrReadOnlyTx), skipping the allocation scope entirely; after repeated
+// aborts it runs under the single global lock against the heap directly.
+func (t *Thread) AtomicRead(body func(tx ptm.Tx) error) (err error) {
+	defer ptm.CatchReadOnly(&err)
+	for attempt := 0; attempt <= t.eng.cfg.MaxRetries; attempt++ {
+		var userErr error
+		cause := t.hw.Run(func(hwtx *htm.Tx) {
+			if hwtx.Load(t.eng.sglAddr) != 0 {
+				hwtx.Abort()
+			}
+			t.ro.Inner = hwtx
+			if berr := body(&t.ro); berr != nil {
+				userErr = berr
+				hwtx.Abort()
+			}
+		})
+		if userErr != nil {
+			t.userAborts++
+			return fmt.Errorf("%w: %w", ptm.ErrAborted, userErr)
+		}
+		if cause == htm.CauseNone {
+			t.outcomes[ptm.OutcomeReadOnly]++
+			return nil
+		}
+	}
+
+	// Single-global-lock fallback: with speculative transactions excluded
+	// and in-flight commits quiesced, direct heap reads are consistent.
+	for !t.eng.hw.NonTxCAS(t.eng.sglAddr, 0, 1) {
+	}
+	t.eng.hw.QuiesceCommitters()
+	defer t.eng.hw.NonTxStore(t.eng.sglAddr, 0)
+	t.ro.Inner = t.eng.heap
+	if berr := body(&t.ro); berr != nil {
+		t.userAborts++
+		return fmt.Errorf("%w: %w", ptm.ErrAborted, berr)
+	}
+	t.outcomes[ptm.OutcomeSGL]++
+	return nil
 }
 
 func (t *Thread) commit(writes int, outcome ptm.Outcome) error {

@@ -28,6 +28,9 @@ type Thread struct {
 	writeAddrs []nvm.Addr
 	writeVals  []uint64
 
+	// ro is the reusable read-only adapter handed to AtomicRead bodies.
+	ro ptm.ROTx
+
 	outcomes   [ptm.NumOutcomes]uint64
 	writes     uint64
 	userAborts uint64
@@ -134,6 +137,53 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		return nil
 	}
 	return t.runSGL(body)
+}
+
+// AtomicRead implements ptm.Thread. Read-only transactions need none of the
+// redo-log machinery — no log records, no persist barriers, no
+// timestamp-ordered close, no hand-off to the background checkpointer — so
+// the body runs in one hardware transaction with a read-only adapter
+// (mutations fail with ptm.ErrReadOnlyTx) and commits at HTM cost; after
+// repeated aborts it runs under the single global lock against the heap
+// directly. This applies to NV-HTM and DudeTM alike: even DudeTM's
+// contended global clock is only touched by writers.
+func (t *Thread) AtomicRead(body func(tx ptm.Tx) error) (err error) {
+	defer ptm.CatchReadOnly(&err)
+	for attempt := 0; attempt <= t.eng.cfg.MaxRetries; attempt++ {
+		var userErr error
+		cause := t.hw.Run(func(hwtx *htm.Tx) {
+			if hwtx.Load(t.eng.sglAddr) != 0 {
+				hwtx.Abort()
+			}
+			t.ro.Inner = hwtx
+			if berr := body(&t.ro); berr != nil {
+				userErr = berr
+				hwtx.Abort()
+			}
+		})
+		if userErr != nil {
+			t.userAborts++
+			return fmt.Errorf("%w: %w", ptm.ErrAborted, userErr)
+		}
+		if cause == htm.CauseNone {
+			t.outcomes[ptm.OutcomeReadOnly]++
+			return nil
+		}
+	}
+
+	// Single-global-lock fallback: with speculative transactions excluded
+	// and in-flight commits quiesced, direct heap reads are consistent.
+	for !t.eng.hw.NonTxCAS(t.eng.sglAddr, 0, 1) {
+	}
+	t.eng.hw.QuiesceCommitters()
+	defer t.eng.hw.NonTxStore(t.eng.sglAddr, 0)
+	t.ro.Inner = t.eng.heap
+	if berr := body(&t.ro); berr != nil {
+		t.userAborts++
+		return fmt.Errorf("%w: %w", ptm.ErrAborted, berr)
+	}
+	t.outcomes[ptm.OutcomeSGL]++
+	return nil
 }
 
 // persistAndClose writes and persists the transaction's redo log, waits for

@@ -55,6 +55,11 @@ type Tx interface {
 // ErrAborted.
 var ErrAborted = errors.New("ptm: transaction aborted by body")
 
+// ErrReadOnlyTx is returned by Thread.AtomicRead when the body attempted a
+// mutation (Store, Alloc, or Free). The transaction publishes nothing; the
+// heap and the engine's logs are exactly as if the call never happened.
+var ErrReadOnlyTx = errors.New("ptm: Store/Alloc/Free called in read-only transaction")
+
 // Thread is one worker's handle onto an engine. Threads are not safe for
 // concurrent use; each worker goroutine registers its own.
 type Thread interface {
@@ -65,6 +70,19 @@ type Thread interface {
 	// committed (its writes are visible to other threads and its log state
 	// satisfies the engine's durability contract).
 	Atomic(body func(tx Tx) error) error
+
+	// AtomicRead executes body as one read-only persistent transaction: the
+	// body observes an atomic snapshot of the heap (it never sees another
+	// transaction's in-flight writes) but must not mutate persistent state —
+	// a call to Store, Alloc, or Free fails the transaction immediately with
+	// an error wrapping ErrReadOnlyTx. Because a read-only transaction
+	// publishes nothing and needs no durability, engines serve it without
+	// log reservation, persist barriers, or allocation scopes: on Crafty it
+	// is a single hardware transaction (with a single-global-lock read-only
+	// fallback), on the classic logging engines a shared-mode lock
+	// acquisition. Error semantics otherwise match Atomic: a body error
+	// abandons the transaction and is returned wrapped in ErrAborted.
+	AtomicRead(body func(tx Tx) error) error
 
 	// Stats returns this thread's outcome counters.
 	Stats() Stats
@@ -101,9 +119,9 @@ type Recoverer interface {
 
 // RecoveryReport summarizes what a recovery pass did.
 type RecoveryReport struct {
-	ThreadsScanned    int    // per-thread logs examined
-	SequencesFound    int    // fully persisted sequences discovered
-	SequencesRolledBack int  // sequences whose writes were undone
-	WordsRestored     int    // individual words rewritten from undo entries
-	MaxTimestamp      uint64 // highest timestamp observed in any log
+	ThreadsScanned      int    // per-thread logs examined
+	SequencesFound      int    // fully persisted sequences discovered
+	SequencesRolledBack int    // sequences whose writes were undone
+	WordsRestored       int    // individual words rewritten from undo entries
+	MaxTimestamp        uint64 // highest timestamp observed in any log
 }

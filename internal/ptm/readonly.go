@@ -1,0 +1,55 @@
+package ptm
+
+import "crafty/internal/nvm"
+
+// Loader is the read half of a transaction handle: anything that can serve a
+// consistent word load. Both *htm.Tx (a speculative snapshot) and *nvm.Heap
+// (direct reads, for engines whose read-only path runs under a lock)
+// implement it.
+type Loader interface {
+	Load(addr nvm.Addr) uint64
+}
+
+// ROTx adapts a Loader into the Tx handed to AtomicRead bodies: Load
+// delegates, every mutation fails the transaction via FailReadOnly. Engines
+// keep one ROTx per thread and repoint Inner per attempt, so the read path
+// allocates nothing.
+type ROTx struct {
+	Inner Loader
+}
+
+// Load implements Tx.
+func (r *ROTx) Load(addr nvm.Addr) uint64 { return r.Inner.Load(addr) }
+
+// Store implements Tx by failing the read-only transaction.
+func (r *ROTx) Store(nvm.Addr, uint64) { FailReadOnly() }
+
+// Alloc implements Tx by failing the read-only transaction.
+func (r *ROTx) Alloc(int) nvm.Addr { FailReadOnly(); return nvm.NilAddr }
+
+// Free implements Tx by failing the read-only transaction.
+func (r *ROTx) Free(nvm.Addr) { FailReadOnly() }
+
+// roViolation is the panic payload FailReadOnly unwinds the body with.
+// A panic (rather than a recorded flag) stops the body at the first
+// violation, so a miswritten "read" can never keep executing against state
+// it believes it has modified.
+type roViolation struct{}
+
+// FailReadOnly aborts the executing read-only transaction body; it never
+// returns. It is safe to unwind through a hardware transaction attempt: a
+// read-only body buffers no writes and holds no commit-protocol locks.
+func FailReadOnly() { panic(roViolation{}) }
+
+// CatchReadOnly converts a FailReadOnly unwind into ErrReadOnlyTx. Engines
+// defer it (`defer CatchReadOnly(&err)`) around the code that runs an
+// AtomicRead body; any other panic is re-raised untouched.
+func CatchReadOnly(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(roViolation); ok {
+			*err = ErrReadOnlyTx
+			return
+		}
+		panic(r)
+	}
+}

@@ -30,6 +30,10 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("BankConservation", func(t *testing.T) { testBankConservation(t, factory) })
 	t.Run("AllocLifecycle", func(t *testing.T) { testAlloc(t, factory) })
 	t.Run("StatsCount", func(t *testing.T) { testStats(t, factory) })
+	t.Run("AtomicReadSeesCommitted", func(t *testing.T) { testAtomicReadSeesCommitted(t, factory) })
+	t.Run("AtomicReadRejectsMutation", func(t *testing.T) { testAtomicReadRejectsMutation(t, factory) })
+	t.Run("AtomicReadAbort", func(t *testing.T) { testAtomicReadAbort(t, factory) })
+	t.Run("AtomicReadSnapshotIsolation", func(t *testing.T) { testAtomicReadSnapshotIsolation(t, factory) })
 }
 
 func newHeap(t *testing.T) *nvm.Heap {
@@ -232,6 +236,174 @@ func testAlloc(t *testing.T, factory Factory) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// testAtomicReadSeesCommitted checks that a read-only transaction observes
+// every previously committed write, interleaved with further mutations.
+func testAtomicReadSeesCommitted(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(16)
+	th := eng.Register()
+	for i := uint64(1); i <= 50; i++ {
+		if err := th.Atomic(func(tx ptm.Tx) error {
+			tx.Store(data, i)
+			tx.Store(data+8, 2*i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var a, b uint64
+		if err := th.AtomicRead(func(tx ptm.Tx) error {
+			a, b = tx.Load(data), tx.Load(data+8)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if a != i || b != 2*i {
+			t.Fatalf("read-only txn saw (%d, %d) after committing (%d, %d)", a, b, i, 2*i)
+		}
+	}
+}
+
+// testAtomicReadRejectsMutation checks that Store, Alloc, and Free each fail
+// a read-only body immediately with ptm.ErrReadOnlyTx, without corrupting
+// any persistent state and without wedging the thread.
+func testAtomicReadRejectsMutation(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, 41)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(tx ptm.Tx){
+		"Store": func(tx ptm.Tx) { tx.Store(data, 999) },
+		"Alloc": func(tx ptm.Tx) { tx.Alloc(4) },
+		"Free":  func(tx ptm.Tx) { tx.Free(data) },
+	}
+	for name, mutate := range mutations {
+		reached := false
+		err := th.AtomicRead(func(tx ptm.Tx) error {
+			_ = tx.Load(data)
+			mutate(tx)
+			reached = true // must be unreachable: the mutation fails fast
+			return nil
+		})
+		if !errors.Is(err, ptm.ErrReadOnlyTx) {
+			t.Fatalf("%s in read-only body: error %v, want ErrReadOnlyTx", name, err)
+		}
+		if reached {
+			t.Fatalf("%s in read-only body did not stop the body", name)
+		}
+	}
+	if got := heap.Load(data); got != 41 {
+		t.Fatalf("state corrupted through read-only path: %d, want 41", got)
+	}
+	// The thread must remain usable for both kinds of transactions.
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, tx.Load(data)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := th.AtomicRead(func(tx ptm.Tx) error {
+		got = tx.Load(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("after rejected mutations: read %d, want 42", got)
+	}
+}
+
+// testAtomicReadAbort checks that a body error abandons the read-only
+// transaction with the same wrapping semantics as Atomic.
+func testAtomicReadAbort(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	data := heap.MustCarve(8)
+	th := eng.Register()
+	boom := errors.New("boom")
+	err := th.AtomicRead(func(tx ptm.Tx) error {
+		_ = tx.Load(data)
+		return boom
+	})
+	if !errors.Is(err, ptm.ErrAborted) || !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap ErrAborted and the body error", err)
+	}
+}
+
+// testAtomicReadSnapshotIsolation runs read-only transactions against
+// concurrent writers that maintain a two-word invariant (the words live on
+// different cache lines, so a non-atomic reader could observe them torn): a
+// read-only transaction must never see a writer's in-flight state.
+func testAtomicReadSnapshotIsolation(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	x := heap.MustCarve(2 * nvm.WordsPerLine)
+	y := x + nvm.WordsPerLine
+	const writers = 2
+	const readers = 2
+	const perThread = 200
+	var wg sync.WaitGroup
+	errs := make([]error, writers+readers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := eng.Register()
+			for i := 0; i < perThread; i++ {
+				if err := th.Atomic(func(tx ptm.Tx) error {
+					v := tx.Load(x) + 1
+					tx.Store(x, v)
+					tx.Store(y, v)
+					return nil
+				}); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := eng.Register()
+			prev := uint64(0)
+			for i := 0; i < perThread; i++ {
+				var a, b uint64
+				if err := th.AtomicRead(func(tx ptm.Tx) error {
+					a, b = tx.Load(x), tx.Load(y)
+					return nil
+				}); err != nil {
+					errs[writers+g] = err
+					return
+				}
+				if a != b {
+					errs[writers+g] = fmt.Errorf("torn read: x=%d y=%d", a, b)
+					return
+				}
+				if a < prev {
+					errs[writers+g] = fmt.Errorf("counter went backwards: %d after %d", a, prev)
+					return
+				}
+				prev = a
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if got := heap.Load(x); got != heap.Load(y) {
+		t.Fatalf("final state torn: x=%d y=%d", got, heap.Load(y))
 	}
 }
 

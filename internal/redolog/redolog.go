@@ -44,7 +44,10 @@ type Engine struct {
 	heap  *nvm.Heap
 	arena *alloc.Arena
 
-	lock sync.Mutex
+	// lock provides thread atomicity: mutating transactions hold it
+	// exclusively, read-only transactions (AtomicRead) hold it shared, so
+	// any number of readers run concurrently and only writers serialize.
+	lock sync.RWMutex
 
 	mu      sync.Mutex
 	threads []*Thread
@@ -118,6 +121,9 @@ type Thread struct {
 
 	buffer map[nvm.Addr]uint64
 	order  []nvm.Addr
+
+	// ro is the reusable read-only adapter handed to AtomicRead bodies.
+	ro ptm.ROTx
 
 	outcomes   [ptm.NumOutcomes]uint64
 	writes     uint64
@@ -214,5 +220,23 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 	}
 	t.outcomes[ptm.OutcomeSGL]++
 	t.writes += uint64(len(t.order))
+	return nil
+}
+
+// AtomicRead implements ptm.Thread. Read-only transactions take the engine
+// lock in shared mode — readers run concurrently with each other and only
+// exclude writers — and skip the write buffer entirely: with no buffered
+// writes there is nothing for reads to look up, nothing to persist, and
+// nothing to apply.
+func (t *Thread) AtomicRead(body func(tx ptm.Tx) error) (err error) {
+	t.eng.lock.RLock()
+	defer t.eng.lock.RUnlock()
+	defer ptm.CatchReadOnly(&err)
+	t.ro.Inner = t.eng.heap
+	if berr := body(&t.ro); berr != nil {
+		t.userAborts++
+		return fmt.Errorf("%w: %w", ptm.ErrAborted, berr)
+	}
+	t.outcomes[ptm.OutcomeReadOnly]++
 	return nil
 }

@@ -45,8 +45,10 @@ type Engine struct {
 	heap  *nvm.Heap
 	arena *alloc.Arena
 
-	// lock provides thread atomicity for all transactions.
-	lock sync.Mutex
+	// lock provides thread atomicity: mutating transactions hold it
+	// exclusively, read-only transactions (AtomicRead) hold it shared, so
+	// any number of readers run concurrently and only writers serialize.
+	lock sync.RWMutex
 
 	mu      sync.Mutex
 	threads []*Thread
@@ -116,6 +118,9 @@ type Thread struct {
 	logBase nvm.Addr
 	logCap  int
 	logHead int
+
+	// ro is the reusable read-only adapter handed to AtomicRead bodies.
+	ro ptm.ROTx
 
 	outcomes   [ptm.NumOutcomes]uint64
 	writes     uint64
@@ -216,5 +221,23 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 	}
 	t.outcomes[ptm.OutcomeSGL]++
 	t.writes += uint64(len(x.undo))
+	return nil
+}
+
+// AtomicRead implements ptm.Thread. Read-only transactions take the engine
+// lock in shared mode — readers run concurrently with each other and only
+// exclude writers — and touch neither the undo log nor the persist path:
+// there is nothing to log, flush, or drain for a body that publishes
+// nothing.
+func (t *Thread) AtomicRead(body func(tx ptm.Tx) error) (err error) {
+	t.eng.lock.RLock()
+	defer t.eng.lock.RUnlock()
+	defer ptm.CatchReadOnly(&err)
+	t.ro.Inner = t.eng.heap
+	if berr := body(&t.ro); berr != nil {
+		t.userAborts++
+		return fmt.Errorf("%w: %w", ptm.ErrAborted, berr)
+	}
+	t.outcomes[ptm.OutcomeReadOnly]++
 	return nil
 }

@@ -10,6 +10,11 @@
 // over recency) for workload D. Every random choice is drawn before the
 // transaction body runs, keeping bodies idempotent under re-execution
 // (Crafty's Log and Validate phases).
+//
+// All read operations — point lookups (via kv.Store.Get) and workload E's
+// scans — run through the engines' read-only fast path (ptm.AtomicRead), so
+// the read-heavy mixes B and C measure what the paper promises for reads:
+// one hardware transaction, no logging, no persist barriers.
 package ycsb
 
 import (
@@ -265,7 +270,7 @@ func (w *Workload) Run(worker int, th ptm.Thread, rng *rand.Rand) error {
 			return w.read(th, s, id < uint64(w.cfg.Records))
 		}
 		scanLen := 1 + rng.Intn(w.cfg.MaxScanLen)
-		return th.Atomic(func(tx ptm.Tx) error {
+		return th.AtomicRead(func(tx ptm.Tx) error {
 			s.dst, _ = w.store.ScanTx(tx, s.key, scanLen, s.dst[:0])
 			return nil
 		})
