@@ -22,6 +22,10 @@
 //	                       one read-only fast-path transaction)
 //	DEL <key>           -> OK | NIL
 //	LEN                 -> LEN <n>
+//	STATS               -> STATS live_blocks=<n> live_words=<n> ...
+//	                       (real arena occupancy: live + free words always
+//	                       account for the whole high-water mark, including
+//	                       across CRASH/recovery cycles)
 //	SYNC                -> OK            (quiesce every worker log: a group
 //	                                      fsync, making prior writes safe
 //	                                      against the next crash)
@@ -393,6 +397,13 @@ func (s *server) dispatch(st *connState, line string) bool {
 			return true
 		}
 		reply("LEN %d", n)
+	case "STATS":
+		s.mu.RLock()
+		ast := s.eng.Arena().Stats()
+		s.mu.RUnlock()
+		reply("STATS live_blocks=%d live_words=%d free_blocks=%d free_words=%d used_words=%d capacity_words=%d leaked_words=%d",
+			ast.Live, ast.LiveWords, ast.FreeBlocks, ast.FreeWords, ast.UsedWords, ast.DataWords,
+			ast.UsedWords-ast.LiveWords-ast.FreeWords)
 	case "SYNC":
 		if err := s.sync(); err != nil {
 			reply("ERR %v", err)

@@ -43,6 +43,7 @@
 package crafty
 
 import (
+	"crafty/internal/alloc"
 	"crafty/internal/core"
 	"crafty/internal/nvm"
 	"crafty/internal/ptm"
@@ -130,11 +131,42 @@ type Engine = core.Engine
 // keep it with the heap so the logs can be found again after a crash.
 type Layout = core.Layout
 
+// Arena is the engine's persistent allocation arena (Engine.Arena), backing
+// Tx.Alloc/Tx.Free. Every block carries a persistent header, so the arena's
+// free lists and size map survive crashes: Reopen scavenges them back from
+// the headers, and ReopenKV additionally reconciles them against the store's
+// verified index so that nothing — not even blocks that were free at the
+// power failure — is ever leaked across recovery.
+type Arena = alloc.Arena
+
+// ArenaStats is a snapshot of allocator occupancy (Arena.Stats): live and
+// free words always sum to the arena's high-water mark.
+type ArenaStats = alloc.Stats
+
+// ArenaBlock names one allocated block (base address and size in words), as
+// consumed by Arena.Recover's reconciling form.
+type ArenaBlock = alloc.Block
+
+// ArenaRecoverReport summarizes an allocator recovery pass (Arena.Recover).
+type ArenaRecoverReport = alloc.RecoverReport
+
 // New creates a Crafty engine on a fresh heap.
 func New(heap *Heap, cfg Config) (*Engine, error) { return core.NewEngine(heap, cfg) }
 
 // Reopen attaches an engine to a heap laid out by a previous New call (after
-// a crash and recovery).
+// a crash and recovery). If the engine was configured with an allocation
+// arena, its allocator state — free lists, block sizes, the bump frontier —
+// is recovered from the arena's persistent block headers, so Tx.Alloc keeps
+// reusing the space freed before the crash.
+//
+// The header scan alone recovers the allocator state as of the crash, which
+// can disagree with the post-rollback transaction history: recovery may roll
+// back a recently committed transaction whose Tx.Free already persisted its
+// header flip, leaving a still-reachable block on the free lists. Callers
+// whose persistent data structures reference arena blocks should therefore
+// reconcile after Reopen by passing their reachable-block set to
+// Engine.Arena().Recover — ReopenKV does exactly this from its verified
+// index. See DESIGN.md §7 and §8.
 func Reopen(heap *Heap, layout Layout, cfg Config) (*Engine, error) {
 	return core.Open(heap, layout, cfg)
 }

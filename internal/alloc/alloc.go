@@ -11,10 +11,18 @@
 // simply to release allocations made by aborted attempts and to defer frees
 // to commit time.
 //
-// Allocator metadata (free lists, block sizes) is volatile. Rebuilding
-// allocator state after a crash is an orthogonal problem the paper does not
-// address; DESIGN.md records this limitation, and the crash-consistency tests
-// use workloads whose persistent footprint is pre-allocated.
+// The allocator is crash recoverable, in the style of persistent allocators
+// from the NVM literature (Makalu's offline scavenging of reachable blocks):
+// every block carries a one-word persistent header in a shadow table (size
+// class, allocation state, and a magic tag), the bump frontier is persisted
+// as a high-water mark, and Recover rebuilds the volatile free lists and
+// size map by walking the headers — returning every gap between live blocks
+// to the free lists instead of leaking it. When the caller knows the exact
+// set of blocks reachable from its persistent roots (the kv store's verified
+// index), Recover reconciles against it and recovery is exact: reachable
+// blocks are live, everything else below the high-water mark is free, and
+// nothing is leaked. See DESIGN.md, "Crash-recoverable allocator", for the
+// header write-ordering argument.
 package alloc
 
 import (
@@ -31,32 +39,190 @@ type Block struct {
 	Words int
 }
 
+// Persistent metadata layout. An arena's region starts with one metadata
+// cache line, then the shadow header table (one word per data line), then the
+// data region blocks are carved from:
+//
+//	meta line:    [0] magic  [1] high-water mark (data lines)  [2] version
+//	header table: word i describes the block whose base is data line i
+//	data region:  cache-line-aligned blocks
+//
+// A header word packs a 32-bit magic tag (so stale or never-written words are
+// recognizable), the block's size class in lines, and an allocated/free bit.
+// Headers exist only at block bases; the words at interior lines are stale
+// leftovers that the recovery walk never reads (it advances by size class).
+const (
+	arenaMagic   = 0x43524654414c4f43 // "CRFTALOC"
+	arenaVersion = 1
+
+	offArenaMagic     = 0
+	offArenaHighWater = 1 // frontier, in data lines (monotone)
+	offArenaVersion   = 2
+
+	hdrMagicMask uint64 = 0xffffffff00000000
+	hdrMagicBits uint64 = 0xa110c8ed00000000
+	hdrAllocBit  uint64 = 1
+)
+
+// packHeader encodes a persistent block header word.
+func packHeader(lines int, allocated bool) uint64 {
+	h := hdrMagicBits | uint64(lines)<<1
+	if allocated {
+		h |= hdrAllocBit
+	}
+	return h
+}
+
+// unpackHeader decodes a header word; ok is false for words that do not carry
+// the header magic (never written, or torn remains of something else).
+func unpackHeader(w uint64) (lines int, allocated, ok bool) {
+	if w&hdrMagicMask != hdrMagicBits {
+		return 0, false, false
+	}
+	return int(w&^hdrMagicMask) >> 1, w&hdrAllocBit != 0, true
+}
+
+// Volatile boundary tags: the hot paths (size lookup on Free, free-list
+// validation, and the two coalescing probes) are O(1) reads of a per-line
+// uint32 array rather than map operations, which keeps the allocator's
+// overhead within budget on the transactional path. A tag exists exactly at
+// each live block's base line and at each free block's base and last lines
+// (one line doubles as both for single-line blocks); all other entries are
+// meaningless and never consulted.
+const (
+	lsUnknown   = 0
+	lsAllocBase = 1 // line is the base of a live block
+	lsFreeBase  = 2 // line is the base of a free block
+	lsFreeEnd   = 3 // line is the last line of a multi-line free block
+
+	lsStateShift = 30
+	lsLinesMask  = (1 << lsStateShift) - 1
+
+	// smallClassLines bounds the directly indexed free-stack array (512
+	// words); classes above it use the spill map.
+	smallClassLines = 64
+)
+
+func lsPack(state, lines int) uint32 { return uint32(state)<<lsStateShift | uint32(lines) }
+func lsState(v uint32) int           { return int(v >> lsStateShift) }
+func lsLines(v uint32) int           { return int(v & lsLinesMask) }
+
 // Arena is a thread-safe allocator over a contiguous region of a heap.
 // Blocks are cache-line aligned so that independently allocated objects never
 // generate false transactional conflicts with each other.
+//
+// The boundary tags, free lists, and accounting are volatile and are rebuilt
+// after a crash by Recover (NewArena runs it automatically when it finds
+// arena metadata in the region); the persistent headers and high-water mark
+// exist only to make that rebuild possible.
 type Arena struct {
 	heap  *nvm.Heap
 	base  nvm.Addr
 	words int
 
-	mu     sync.Mutex
-	next   nvm.Addr
-	free   map[int][]nvm.Addr // size class (in words, line-rounded) -> free blocks
-	sizes  map[nvm.Addr]int   // outstanding block sizes, for Free without a size
-	noZero bool               // skip the zero fill on Alloc (see SetZeroFill)
+	// Persistent layout (computed once from base/words).
+	metaBase   nvm.Addr
+	headerBase nvm.Addr
+	dataBase   nvm.Addr
+	dataLines  int
+
+	mu   sync.Mutex
+	next nvm.Addr // bump frontier within the data region
+
+	lineState []uint32 // volatile boundary tags, one per data line
+
+	// Per-class stacks of free-block base addresses. Classes up to
+	// smallClassLines lines index a flat array (no map operations on the
+	// alloc/free hot path); larger classes — rehash tables, essentially —
+	// spill into a map. A stack may contain stale entries (blocks since
+	// coalesced or split away), which lookups validate against the boundary
+	// tags and drop lazily.
+	freeSmall [smallClassLines + 1][]nvm.Addr // indexed by class lines
+	freeLarge map[int]*[]nvm.Addr             // keyed by class words
+
+	liveBlocks, liveWords int
+	freeBlocks, freeWords int
+
+	noZero bool // skip the zero fill on Alloc (see SetZeroFill)
+
+	// tracking caches heap.Tracking(): on an untracked heap no crash can be
+	// injected (nvm.Heap.Crash panics), so recovery never runs and the
+	// metadata flushes would only burn cycles and pollute the flush counters
+	// of throughput experiments. The metadata *stores* still happen, so a
+	// same-process reattach (NewArena over a live region) recovers correctly.
+	tracking bool
+
+	// syncf persists metadata for callers that supply no flusher of their own
+	// (direct Alloc/Free, Adopt, Recover); guarded by mu.
+	syncf *nvm.Flusher
 }
 
 // NewArena creates an allocator over the region [base, base+words) of heap,
-// which the caller must have carved beforehand.
+// which the caller must have carved beforehand. If the region already holds
+// arena metadata (the heap survived a crash and the engine is reattaching),
+// the allocator's volatile state is recovered from the persistent block
+// headers; otherwise fresh metadata is initialized and persisted.
 func NewArena(heap *nvm.Heap, base nvm.Addr, words int) *Arena {
-	return &Arena{
-		heap:  heap,
-		base:  base,
-		words: words,
-		next:  base,
-		free:  make(map[int][]nvm.Addr),
-		sizes: make(map[nvm.Addr]int),
+	a := &Arena{
+		heap:     heap,
+		base:     base,
+		words:    words,
+		tracking: heap.Tracking(),
+		syncf:    heap.NewFlusher(),
 	}
+	a.computeLayout()
+	a.lineState = make([]uint32, a.dataLines)
+	a.freeLarge = make(map[int]*[]nvm.Addr)
+	a.next = a.dataBase
+	if a.dataLines == 0 {
+		return a
+	}
+	if heap.Load(a.metaBase+offArenaMagic) == arenaMagic {
+		if v := heap.Load(a.metaBase + offArenaVersion); v != arenaVersion {
+			// A mismatch means the region was laid out by an incompatible
+			// arena format; scavenging it under this version's assumptions
+			// would rebuild a silently wrong free list.
+			panic(fmt.Sprintf("alloc: arena at %d has version %d, this build supports %d", base, v, arenaVersion))
+		}
+		a.recoverFromHeaders()
+		return a
+	}
+	heap.Store(a.metaBase+offArenaVersion, arenaVersion)
+	heap.Store(a.metaBase+offArenaHighWater, 0)
+	heap.Store(a.metaBase+offArenaMagic, arenaMagic)
+	a.syncf.FlushRange(a.metaBase, nvm.WordsPerLine)
+	a.syncf.Drain()
+	return a
+}
+
+// computeLayout splits the region into metadata line, header table, and data
+// region. dataLines is the largest D with 1 + ceil(D/8) + D total lines
+// fitting the region.
+func (a *Arena) computeLayout() {
+	totalLines := a.words / nvm.WordsPerLine
+	usable := totalLines - 1
+	if usable < 0 {
+		usable = 0
+	}
+	d := usable * nvm.WordsPerLine / (nvm.WordsPerLine + 1)
+	for d > 0 && d+(d+nvm.WordsPerLine-1)/nvm.WordsPerLine > usable {
+		d--
+	}
+	headerLines := (d + nvm.WordsPerLine - 1) / nvm.WordsPerLine
+	a.metaBase = a.base
+	a.headerBase = a.base + nvm.WordsPerLine
+	a.dataBase = a.headerBase + nvm.Addr(headerLines*nvm.WordsPerLine)
+	a.dataLines = d
+}
+
+func (a *Arena) resetVolatile() {
+	clear(a.lineState)
+	for i := range a.freeSmall {
+		a.freeSmall[i] = a.freeSmall[i][:0]
+	}
+	clear(a.freeLarge)
+	a.liveBlocks, a.liveWords = 0, 0
+	a.freeBlocks, a.freeWords = 0, 0
 }
 
 // NewArenaCarved carves words from the heap and returns an allocator over the
@@ -78,29 +244,211 @@ func sizeClass(words int) int {
 	return lines * nvm.WordsPerLine
 }
 
-// Alloc returns a zeroed, cache-line-aligned block of at least words words.
+// SizeClass reports the size class (in words) a request of the given number
+// of words allocates; callers reconstructing the live set after a crash need
+// it to name block extents exactly.
+func SizeClass(words int) int { return sizeClass(words) }
+
+func (a *Arena) lineOf(addr nvm.Addr) int { return int(addr-a.dataBase) / nvm.WordsPerLine }
+
+func (a *Arena) lineAddr(line int) nvm.Addr {
+	return a.dataBase + nvm.Addr(line*nvm.WordsPerLine)
+}
+
+// headerAddr returns the shadow-table word describing the block based at
+// addr.
+func (a *Arena) headerAddr(addr nvm.Addr) nvm.Addr {
+	return a.headerBase + nvm.Addr(a.lineOf(addr))
+}
+
+// writeHeader publishes a persistent block header and flushes it through f.
+// The write is a single word, so a crash leaves either the old header or the
+// new one, never a torn mix; the flush is fenced by the caller's next drain
+// or hardware-transaction commit (see DESIGN.md, "Crash-recoverable
+// allocator").
+func (a *Arena) writeHeader(f *nvm.Flusher, addr nvm.Addr, classWords int, allocated bool) {
+	ha := a.headerAddr(addr)
+	a.heap.Store(ha, packHeader(classWords/nvm.WordsPerLine, allocated))
+	if a.tracking {
+		f.Flush(ha)
+	}
+}
+
+// persistHighWater publishes the bump frontier. It is flushed on the same
+// flusher as the headers it covers, so a durably committed allocation's
+// high-water mark is durable too (the allocating thread fences both before
+// its commit marker can persist).
+func (a *Arena) persistHighWater(f *nvm.Flusher) {
+	a.heap.Store(a.metaBase+offArenaHighWater, uint64((a.next-a.dataBase)/nvm.WordsPerLine))
+	if a.tracking {
+		f.Flush(a.metaBase + offArenaHighWater)
+	}
+}
+
+// markAlloc tags a block live and accounts it. The covering free extents
+// must already have been removed.
+func (a *Arena) markAlloc(addr nvm.Addr, class int) {
+	a.lineState[a.lineOf(addr)] = lsPack(lsAllocBase, class/nvm.WordsPerLine)
+	a.liveBlocks++
+	a.liveWords += class
+}
+
+// unmarkAlloc clears a live block's tag and accounting.
+func (a *Arena) unmarkAlloc(addr nvm.Addr, class int) {
+	a.lineState[a.lineOf(addr)] = lsUnknown
+	a.liveBlocks--
+	a.liveWords -= class
+}
+
+// stackFor returns the free stack for a class, creating the spill-map entry
+// on demand when create is set (only large classes ever allocate here).
+func (a *Arena) stackFor(class int, create bool) *[]nvm.Addr {
+	if lines := class / nvm.WordsPerLine; lines <= smallClassLines {
+		return &a.freeSmall[lines]
+	}
+	st, ok := a.freeLarge[class]
+	if !ok {
+		if !create {
+			return nil
+		}
+		st = new([]nvm.Addr)
+		a.freeLarge[class] = st
+	}
+	return st
+}
+
+// addFree registers a free block: boundary tags, class stack, accounting.
+func (a *Arena) addFree(addr nvm.Addr, class int) {
+	lines := class / nvm.WordsPerLine
+	l := a.lineOf(addr)
+	a.lineState[l] = lsPack(lsFreeBase, lines)
+	if lines > 1 {
+		a.lineState[l+lines-1] = lsPack(lsFreeEnd, lines)
+	}
+	st := a.stackFor(class, true)
+	*st = append(*st, addr)
+	a.freeBlocks++
+	a.freeWords += class
+}
+
+// removeFree unregisters a free block; its class-stack entry is left stale
+// and dropped lazily by takeFree.
+func (a *Arena) removeFree(addr nvm.Addr, class int) {
+	lines := class / nvm.WordsPerLine
+	l := a.lineOf(addr)
+	a.lineState[l] = lsUnknown
+	if lines > 1 {
+		a.lineState[l+lines-1] = lsUnknown
+	}
+	a.freeBlocks--
+	a.freeWords -= class
+}
+
+// takeFree pops a valid free block of exactly class words, skipping and
+// discarding stale stack entries.
+func (a *Arena) takeFree(class int) (nvm.Addr, bool) {
+	st := a.stackFor(class, false)
+	if st == nil {
+		return nvm.NilAddr, false
+	}
+	stack := *st
+	want := lsPack(lsFreeBase, class/nvm.WordsPerLine)
+	for n := len(stack); n > 0; n = len(stack) {
+		addr := stack[n-1]
+		stack = stack[:n-1]
+		if a.lineState[a.lineOf(addr)] == want {
+			*st = stack
+			a.removeFree(addr, class)
+			return addr, true
+		}
+	}
+	*st = stack
+	return nvm.NilAddr, false
+}
+
+// splitFree serves a class-sized request from the smallest free block larger
+// than class, returning the remainder to the free lists. The remainder's
+// boundary header is written before the caller shrinks the base block's
+// header, so every crash-time header chain describes either the old block or
+// the split one.
+func (a *Arena) splitFree(class int, f *nvm.Flusher) (nvm.Addr, bool) {
+	for {
+		best := 0
+		for l := class/nvm.WordsPerLine + 1; l <= smallClassLines; l++ {
+			if len(a.freeSmall[l]) > 0 {
+				best = l * nvm.WordsPerLine
+				break
+			}
+		}
+		if best == 0 {
+			for c, st := range a.freeLarge {
+				if c > class && len(*st) > 0 && (best == 0 || c < best) {
+					best = c
+				}
+			}
+		}
+		if best == 0 {
+			return nvm.NilAddr, false
+		}
+		addr, ok := a.takeFree(best)
+		if !ok {
+			continue // the stack held only stale entries; it is empty now
+		}
+		remBase := addr + nvm.Addr(class)
+		rem := best - class
+		a.writeHeader(f, remBase, rem, false)
+		a.addFree(remBase, rem)
+		return addr, true
+	}
+}
+
+// Alloc returns a zeroed, cache-line-aligned block of at least words words,
+// persisting its header immediately (flush + drain). Transactional callers
+// go through AllocFlush via the TxLog, which instead lets the header flush
+// ride the owning thread's existing persist batching.
 func (a *Arena) Alloc(words int) (nvm.Addr, error) {
+	return a.allocWith(words, nil)
+}
+
+// AllocFlush is Alloc with the header writes flushed through f and fenced by
+// f's next drain or hardware-transaction commit, instead of being drained
+// inline — the allocation hot path of the engines' TxLogs.
+func (a *Arena) AllocFlush(words int, f *nvm.Flusher) (nvm.Addr, error) {
+	return a.allocWith(words, f)
+}
+
+func (a *Arena) allocWith(words int, f *nvm.Flusher) (nvm.Addr, error) {
 	if words <= 0 {
 		return nvm.NilAddr, fmt.Errorf("alloc: invalid size %d", words)
 	}
 	class := sizeClass(words)
 
 	a.mu.Lock()
-	if blocks := a.free[class]; len(blocks) > 0 {
-		addr := blocks[len(blocks)-1]
-		a.free[class] = blocks[:len(blocks)-1]
-		a.sizes[addr] = class
-		a.mu.Unlock()
-		a.zero(addr, class)
-		return addr, nil
+	fl := f
+	if fl == nil {
+		fl = a.syncf
 	}
-	if int(a.next-a.base)+class > a.words {
-		a.mu.Unlock()
-		return nvm.NilAddr, fmt.Errorf("alloc: arena exhausted (%d of %d words used, need %d)", a.next-a.base, a.words, class)
+	addr, ok := a.takeFree(class)
+	if !ok {
+		addr, ok = a.splitFree(class, fl)
 	}
-	addr := a.next
-	a.next += nvm.Addr(class)
-	a.sizes[addr] = class
+	if !ok {
+		if int(a.next-a.dataBase)+class > a.dataLines*nvm.WordsPerLine {
+			used := int(a.next - a.dataBase)
+			a.mu.Unlock()
+			return nvm.NilAddr, fmt.Errorf("alloc: arena exhausted (%d of %d words used, need %d)", used, a.dataLines*nvm.WordsPerLine, class)
+		}
+		addr = a.next
+		a.next += nvm.Addr(class)
+		a.writeHeader(fl, addr, class, true)
+		a.persistHighWater(fl)
+	} else {
+		a.writeHeader(fl, addr, class, true)
+	}
+	a.markAlloc(addr, class)
+	if f == nil {
+		a.syncf.Drain()
+	}
 	a.mu.Unlock()
 	a.zero(addr, class)
 	return addr, nil
@@ -110,6 +458,15 @@ func (a *Arena) Alloc(words int) (nvm.Addr, error) {
 // ptm.Tx.Alloc, where exhaustion indicates a mis-sized experiment.
 func (a *Arena) MustAlloc(words int) nvm.Addr {
 	addr, err := a.Alloc(words)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// mustAllocFlush is AllocFlush that panics on exhaustion (the TxLog path).
+func (a *Arena) mustAllocFlush(words int, f *nvm.Flusher) nvm.Addr {
+	addr, err := a.AllocFlush(words, f)
 	if err != nil {
 		panic(err)
 	}
@@ -140,63 +497,440 @@ func (a *Arena) SetZeroFill(enabled bool) {
 	a.noZero = !enabled
 }
 
-// Free returns a block to the arena. Freeing an address that is not currently
-// allocated panics: it indicates a double free in an engine or workload.
-func (a *Arena) Free(addr nvm.Addr) {
+// Free returns a block to the arena, coalescing it with free neighbors and
+// persisting the merged block's header immediately. Freeing an address that
+// is not currently allocated panics: it indicates a double free in an engine
+// or workload.
+func (a *Arena) Free(addr nvm.Addr) { a.freeWith(addr, nil) }
+
+// FreeFlush is Free with the header writes flushed through f and fenced by
+// f's next drain or hardware-transaction commit — the TxLog's commit-time
+// free path.
+func (a *Arena) FreeFlush(addr nvm.Addr, f *nvm.Flusher) { a.freeWith(addr, f) }
+
+func (a *Arena) freeWith(addr nvm.Addr, f *nvm.Flusher) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	class, ok := a.sizes[addr]
-	if !ok {
+	l := a.lineOf(addr)
+	if l < 0 || l >= a.dataLines || lsState(a.lineState[l]) != lsAllocBase {
 		panic(fmt.Sprintf("alloc: free of unallocated address %d", addr))
 	}
-	delete(a.sizes, addr)
-	a.free[class] = append(a.free[class], addr)
+	lines := lsLines(a.lineState[l])
+	class := lines * nvm.WordsPerLine
+	fl := f
+	if fl == nil {
+		fl = a.syncf
+	}
+	a.unmarkAlloc(addr, class)
+
+	// Coalesce with adjacent free blocks (classic boundary tags: the word
+	// left of the block is the left neighbor's end tag, the word after it is
+	// the right neighbor's base tag). The merged persistent header is one
+	// word, so a crash observes either the pre-merge blocks (all valid
+	// headers) or the merged one, whose recovery walk skips the absorbed
+	// blocks' stale headers.
+	start, total := addr, class
+	if l > 0 {
+		switch v := a.lineState[l-1]; lsState(v) {
+		case lsFreeEnd:
+			lb := a.lineAddr(l - lsLines(v))
+			lc := lsLines(v) * nvm.WordsPerLine
+			a.removeFree(lb, lc)
+			start, total = lb, lc+total
+		case lsFreeBase: // single-line left neighbor
+			lb := a.lineAddr(l - 1)
+			lc := lsLines(v) * nvm.WordsPerLine
+			a.removeFree(lb, lc)
+			start, total = lb, lc+total
+		}
+	}
+	if right := l + lines; a.lineAddr(right) < a.next {
+		if v := a.lineState[right]; lsState(v) == lsFreeBase {
+			rc := lsLines(v) * nvm.WordsPerLine
+			a.removeFree(a.lineAddr(right), rc)
+			total += rc
+		}
+	}
+	a.writeHeader(fl, start, total, false)
+	a.addFree(start, total)
+	if f == nil {
+		a.syncf.Drain()
+	}
 }
 
-// Adopt marks the block [addr, addr+sizeClass(words)) as allocated in a
-// freshly constructed arena, so that a recovery pass can rebuild the
-// allocator's volatile state from blocks still reachable through persistent
-// data structures (allocator metadata itself is volatile; see the package
-// comment). Adoption only moves the bump pointer forward: words between
-// adopted blocks that were free at the crash are not returned to the free
-// lists and are leaked until the next full rebuild, a bounded cost DESIGN.md
-// discusses.
+// blocksLocked walks the volatile block chain in address order; callers hold
+// mu. visit receives each block's base, size class in words, and liveness.
+func (a *Arena) blocksLocked(visit func(addr nvm.Addr, class int, live bool) bool) error {
+	line := 0
+	for a.lineAddr(line) < a.next {
+		v := a.lineState[line]
+		st, lines := lsState(v), lsLines(v)
+		if (st != lsAllocBase && st != lsFreeBase) || lines <= 0 {
+			return fmt.Errorf("alloc: corrupt volatile block chain at line %d (tag %#x)", line, v)
+		}
+		if !visit(a.lineAddr(line), lines*nvm.WordsPerLine, st == lsAllocBase) {
+			return nil
+		}
+		line += lines
+	}
+	return nil
+}
+
+// Adopt marks the block [addr, addr+sizeClass(words)) as allocated, carving
+// it out of free space: from inside an existing free block (splitting off
+// the remainders), or from beyond the bump frontier (in which case the gap
+// between the old frontier and the block becomes a free block rather than
+// leaking). Adoption fails if the block overlaps any live block — including
+// partial overlaps at different base addresses, which earlier versions
+// missed — or any space that is neither free nor beyond the frontier.
+//
+// Recover supersedes Adopt for whole-arena rebuilds; Adopt remains for
+// callers registering individual externally-tracked blocks.
 func (a *Arena) Adopt(addr nvm.Addr, words int) error {
 	if words <= 0 {
 		return fmt.Errorf("alloc: adopt of invalid size %d", words)
 	}
 	class := sizeClass(words)
-	if addr < a.base || int(addr-a.base)+class > a.words {
-		return fmt.Errorf("alloc: adopted block [%d,+%d) outside arena [%d,+%d)", addr, class, a.base, a.words)
+	end := addr + nvm.Addr(class)
+	if addr < a.dataBase || int(end-a.dataBase) > a.dataLines*nvm.WordsPerLine {
+		return fmt.Errorf("alloc: adopted block [%d,+%d) outside arena data region [%d,+%d)", addr, class, a.dataBase, a.dataLines*nvm.WordsPerLine)
 	}
 	if addr%nvm.WordsPerLine != 0 {
 		return fmt.Errorf("alloc: adopted block %d is not line aligned", addr)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if prev, ok := a.sizes[addr]; ok {
-		return fmt.Errorf("alloc: block %d adopted twice (sizes %d and %d)", addr, prev, class)
+
+	// Walk the block chain: everything intersecting [addr, end) must be
+	// free, and the free blocks are the donors to carve from.
+	var donors []Block
+	overlapErr := error(nil)
+	walkErr := a.blocksLocked(func(b nvm.Addr, c int, live bool) bool {
+		bEnd := b + nvm.Addr(c)
+		if b >= end {
+			return false
+		}
+		if bEnd <= addr {
+			return true
+		}
+		if live {
+			if b == addr {
+				overlapErr = fmt.Errorf("alloc: block %d adopted twice (sizes %d and %d)", addr, c, class)
+			} else {
+				overlapErr = fmt.Errorf("alloc: adopted block [%d,+%d) overlaps live block [%d,+%d)", addr, class, b, c)
+			}
+			return false
+		}
+		donors = append(donors, Block{Addr: b, Words: c})
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
 	}
-	a.sizes[addr] = class
-	if end := addr + nvm.Addr(class); end > a.next {
+	if overlapErr != nil {
+		return overlapErr
+	}
+	// Coverage: donors (address ordered) plus the frontier must cover the
+	// whole block.
+	cursor := addr
+	for _, d := range donors {
+		if d.Addr > cursor {
+			return fmt.Errorf("alloc: adopted block [%d,+%d) overlaps unaccounted space at %d", addr, class, cursor)
+		}
+		if e := d.Addr + nvm.Addr(d.Words); e > cursor {
+			cursor = e
+		}
+	}
+	if cursor < end && cursor < a.next {
+		return fmt.Errorf("alloc: adopted block [%d,+%d) overlaps unaccounted space at %d", addr, class, cursor)
+	}
+
+	for _, d := range donors {
+		a.removeFree(d.Addr, d.Words)
+		if d.Addr < addr {
+			left := int(addr - d.Addr)
+			a.writeHeader(a.syncf, d.Addr, left, false)
+			a.addFree(d.Addr, left)
+		}
+		if dEnd := d.Addr + nvm.Addr(d.Words); dEnd > end {
+			right := int(dEnd - end)
+			a.writeHeader(a.syncf, end, right, false)
+			a.addFree(end, right)
+		}
+	}
+	if addr > a.next {
+		gap := int(addr - a.next)
+		a.writeHeader(a.syncf, a.next, gap, false)
+		a.addFree(a.next, gap)
+		a.next = addr
+	}
+	if end > a.next {
 		a.next = end
 	}
+	a.persistHighWater(a.syncf)
+	a.writeHeader(a.syncf, addr, class, true)
+	a.markAlloc(addr, class)
+	a.syncf.Drain()
 	return nil
+}
+
+// RecoverReport summarizes an allocator recovery pass.
+type RecoverReport struct {
+	LiveBlocks       int // blocks live after recovery
+	LiveWords        int // their total size
+	FreeBlocks       int // free blocks after recovery (post-coalescing)
+	FreeWords        int // words returned to the free lists
+	QuarantinedWords int // unparseable frontier tail kept allocated (header scan only)
+	ForcedLive       int // reconciliation: reachable blocks the headers had lost
+	Dropped          int // reconciliation: header-live blocks not reachable, freed
+}
+
+// Recover rebuilds the allocator's volatile state after a crash.
+//
+// With reachable == nil it scavenges the persistent block headers: the walk
+// starts at the data base, advances block by block using each header's size
+// class, marks headed-allocated blocks live, and coalesces every gap of free
+// blocks onto the free lists, up to the persisted high-water mark. If the
+// header chain becomes unparseable before the mark (a crash caught a
+// frontier allocation with its header flush not yet fenced), the remaining
+// tail is quarantined as one allocated block — conservative, never handed
+// out, and repaired by the reconciling form.
+//
+// With reachable non-nil, the caller asserts it is the complete set of live
+// blocks (each with its requested word count), as the kv store derives from
+// its verified index. Recovery is then exact: reachable blocks become live
+// (whatever their headers claimed — a rolled-back free's premature header,
+// or a lost header at the frontier), every other word below the recovered
+// frontier becomes free, headers are rewritten to match, and no word is
+// leaked: LiveWords + FreeWords == Used() on return. Overlapping reachable
+// blocks indicate corrupt caller metadata and fail.
+func (a *Arena) Recover(reachable []Block) (RecoverReport, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dataLines == 0 {
+		return RecoverReport{}, fmt.Errorf("alloc: arena of %d words has no data region to recover", a.words)
+	}
+	if reachable == nil {
+		rep := a.recoverFromHeaders()
+		return rep, nil
+	}
+	return a.reconcile(reachable)
+}
+
+// recoverFromHeaders is the header-only scavenge; callers hold mu (or are the
+// constructor).
+func (a *Arena) recoverFromHeaders() RecoverReport {
+	var rep RecoverReport
+	hw := int(a.heap.Load(a.metaBase + offArenaHighWater))
+	if hw > a.dataLines {
+		hw = a.dataLines
+	}
+	a.resetVolatile()
+	a.next = a.dataBase + nvm.Addr(hw*nvm.WordsPerLine)
+
+	line := 0
+	freeRun := -1
+	endFreeRun := func(endLine int) {
+		if freeRun < 0 {
+			return
+		}
+		addr := a.lineAddr(freeRun)
+		cw := (endLine - freeRun) * nvm.WordsPerLine
+		a.writeHeader(a.syncf, addr, cw, false)
+		a.addFree(addr, cw)
+		freeRun = -1
+	}
+	for line < hw {
+		lines, allocated, ok := unpackHeader(a.heap.Load(a.headerBase + nvm.Addr(line)))
+		if !ok || lines <= 0 || line+lines > hw {
+			break
+		}
+		if allocated {
+			endFreeRun(line)
+			a.markAlloc(a.lineAddr(line), lines*nvm.WordsPerLine)
+		} else if freeRun < 0 {
+			freeRun = line
+		}
+		line += lines
+	}
+	endFreeRun(line)
+	if line < hw {
+		// Unparseable tail: quarantine it as one allocated block so nothing
+		// in it is ever handed out. Reconciliation against a reachable set
+		// releases it exactly.
+		addr := a.lineAddr(line)
+		cw := (hw - line) * nvm.WordsPerLine
+		a.writeHeader(a.syncf, addr, cw, true)
+		a.markAlloc(addr, cw)
+		rep.QuarantinedWords = cw
+	}
+	a.syncf.Drain()
+	rep.LiveBlocks = a.liveBlocks
+	rep.LiveWords = a.liveWords
+	rep.FreeBlocks = a.freeBlocks
+	rep.FreeWords = a.freeWords
+	return rep
+}
+
+// reconcile rebuilds the allocator exactly from the caller's reachable set;
+// callers hold mu.
+func (a *Arena) reconcile(reachable []Block) (RecoverReport, error) {
+	var rep RecoverReport
+	blocks := make([]Block, len(reachable))
+	copy(blocks, reachable)
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Addr < blocks[j].Addr })
+	dataEnd := a.dataBase + nvm.Addr(a.dataLines*nvm.WordsPerLine)
+	for i, b := range blocks {
+		if b.Words <= 0 {
+			return rep, fmt.Errorf("alloc: reachable block %d has invalid size %d", b.Addr, b.Words)
+		}
+		if b.Addr%nvm.WordsPerLine != 0 {
+			return rep, fmt.Errorf("alloc: reachable block %d is not line aligned", b.Addr)
+		}
+		end := b.Addr + nvm.Addr(sizeClass(b.Words))
+		if b.Addr < a.dataBase || end > dataEnd {
+			return rep, fmt.Errorf("alloc: reachable block [%d,+%d) outside arena data region", b.Addr, sizeClass(b.Words))
+		}
+		if i > 0 {
+			prev := blocks[i-1]
+			if prev.Addr+nvm.Addr(sizeClass(prev.Words)) > b.Addr {
+				return rep, fmt.Errorf("alloc: reachable blocks [%d,+%d) and [%d,+%d) overlap",
+					prev.Addr, sizeClass(prev.Words), b.Addr, sizeClass(b.Words))
+			}
+		}
+	}
+
+	// Diff against the current (scavenged) view for the report.
+	for _, b := range blocks {
+		l := a.lineOf(b.Addr)
+		if a.lineState[l] != lsPack(lsAllocBase, sizeClass(b.Words)/nvm.WordsPerLine) {
+			rep.ForcedLive++
+		}
+	}
+	seen := make(map[nvm.Addr]bool, len(blocks))
+	for _, b := range blocks {
+		seen[b.Addr] = true
+	}
+	_ = a.blocksLocked(func(addr nvm.Addr, class int, live bool) bool {
+		if live && !seen[addr] {
+			rep.Dropped++
+		}
+		return true
+	})
+
+	// The recovered frontier covers both the persisted high-water mark and
+	// every reachable block (a frontier block can be reachable while the
+	// crash lost its high-water flush only if its transaction never durably
+	// committed, but covering both is free and unconditionally safe).
+	hw := int(a.heap.Load(a.metaBase + offArenaHighWater))
+	if hw > a.dataLines {
+		hw = a.dataLines
+	}
+	next := a.dataBase + nvm.Addr(hw*nvm.WordsPerLine)
+	if n := len(blocks); n > 0 {
+		if end := blocks[n-1].Addr + nvm.Addr(sizeClass(blocks[n-1].Words)); end > next {
+			next = end
+		}
+	}
+
+	a.resetVolatile()
+	a.next = next
+	cursor := a.dataBase
+	for _, b := range blocks {
+		class := sizeClass(b.Words)
+		if b.Addr > cursor {
+			gap := int(b.Addr - cursor)
+			a.writeHeader(a.syncf, cursor, gap, false)
+			a.addFree(cursor, gap)
+		}
+		a.writeHeader(a.syncf, b.Addr, class, true)
+		a.markAlloc(b.Addr, class)
+		cursor = b.Addr + nvm.Addr(class)
+	}
+	if cursor < a.next {
+		gap := int(a.next - cursor)
+		a.writeHeader(a.syncf, cursor, gap, false)
+		a.addFree(cursor, gap)
+	}
+	a.persistHighWater(a.syncf)
+	a.syncf.Drain()
+
+	rep.LiveBlocks = a.liveBlocks
+	rep.LiveWords = a.liveWords
+	rep.FreeBlocks = a.freeBlocks
+	rep.FreeWords = a.freeWords
+	if a.liveWords+a.freeWords != int(a.next-a.dataBase) {
+		return rep, fmt.Errorf("alloc: reconciliation leaked words (live %d + free %d != used %d)",
+			a.liveWords, a.freeWords, int(a.next-a.dataBase))
+	}
+	return rep, nil
 }
 
 // Live reports how many blocks are currently allocated.
 func (a *Arena) Live() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.sizes)
+	return a.liveBlocks
 }
 
-// Used reports how many words of the arena have ever been handed out
-// (high-water mark, not reduced by Free).
+// Used reports how many words of the data region have ever been handed out:
+// the high-water mark of the bump frontier. It is monotone — Free returns
+// blocks to the free lists without retreating the frontier — so real
+// occupancy is LiveWords (allocated) plus FreeWords (reusable), which always
+// sum to Used.
 func (a *Arena) Used() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return int(a.next - a.base)
+	return int(a.next - a.dataBase)
+}
+
+// LiveWords reports the total size of currently allocated blocks.
+func (a *Arena) LiveWords() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.liveWords
+}
+
+// FreeWords reports the total size of blocks on the free lists.
+func (a *Arena) FreeWords() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeWords
+}
+
+// FreeBlocks reports how many (coalesced) free blocks the arena holds.
+func (a *Arena) FreeBlocks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeBlocks
+}
+
+// DataWords reports the allocatable capacity of the arena (the region size
+// minus the persistent metadata overhead).
+func (a *Arena) DataWords() int { return a.dataLines * nvm.WordsPerLine }
+
+// Stats is a snapshot of allocator occupancy.
+type Stats struct {
+	Live       int // allocated blocks
+	LiveWords  int // their total size in words
+	FreeBlocks int // coalesced free blocks
+	FreeWords  int // reusable words on the free lists
+	UsedWords  int // high-water mark (LiveWords + FreeWords)
+	DataWords  int // allocatable capacity
+}
+
+// Stats returns a consistent snapshot of the arena's occupancy counters.
+func (a *Arena) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Live:       a.liveBlocks,
+		LiveWords:  a.liveWords,
+		FreeBlocks: a.freeBlocks,
+		FreeWords:  a.freeWords,
+		UsedWords:  int(a.next - a.dataBase),
+		DataWords:  a.dataLines * nvm.WordsPerLine,
+	}
 }
 
 // Contains reports whether addr lies inside the arena's region.
@@ -209,10 +943,12 @@ func (a *Arena) Contains(addr nvm.Addr) bool {
 func (a *Arena) OutstandingBlocks() []Block {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]Block, 0, len(a.sizes))
-	for addr, size := range a.sizes {
-		out = append(out, Block{Addr: addr, Words: size})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	out := make([]Block, 0, a.liveBlocks)
+	_ = a.blocksLocked(func(addr nvm.Addr, class int, live bool) bool {
+		if live {
+			out = append(out, Block{Addr: addr, Words: class})
+		}
+		return true
+	})
 	return out
 }

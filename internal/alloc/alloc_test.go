@@ -17,8 +17,18 @@ func newArena(t *testing.T, words int) *Arena {
 	return a
 }
 
+// checkAccounting asserts the arena's occupancy invariant: every word below
+// the high-water mark is either live or on the free lists.
+func checkAccounting(t *testing.T, a *Arena) {
+	t.Helper()
+	st := a.Stats()
+	if st.LiveWords+st.FreeWords != st.UsedWords {
+		t.Fatalf("accounting: live %d + free %d != used %d", st.LiveWords, st.FreeWords, st.UsedWords)
+	}
+}
+
 func TestAllocReturnsDistinctAlignedBlocks(t *testing.T) {
-	a := newArena(t, 4096)
+	a := newArena(t, 8192)
 	seen := make(map[nvm.Addr]bool)
 	for i := 0; i < 100; i++ {
 		addr, err := a.Alloc(3)
@@ -36,6 +46,7 @@ func TestAllocReturnsDistinctAlignedBlocks(t *testing.T) {
 	if a.Live() != 100 {
 		t.Fatalf("Live() = %d, want 100", a.Live())
 	}
+	checkAccounting(t, a)
 }
 
 func TestAllocZeroesRecycledBlocks(t *testing.T) {
@@ -55,7 +66,11 @@ func TestAllocZeroesRecycledBlocks(t *testing.T) {
 func heapOf(a *Arena) *nvm.Heap { return a.heap }
 
 func TestAllocInvalidAndExhausted(t *testing.T) {
-	a := newArena(t, 2*nvm.WordsPerLine)
+	// 4 lines total: one metadata line, one header line, two data lines.
+	a := newArena(t, 4*nvm.WordsPerLine)
+	if got := a.DataWords(); got != 2*nvm.WordsPerLine {
+		t.Fatalf("DataWords() = %d, want %d", got, 2*nvm.WordsPerLine)
+	}
 	if _, err := a.Alloc(0); err == nil {
 		t.Fatal("expected error for zero-size allocation")
 	}
@@ -88,51 +103,192 @@ func TestSetZeroFillDisablesZeroing(t *testing.T) {
 	}
 }
 
-func TestAdoptRebuildsAllocatorState(t *testing.T) {
-	h := nvm.NewHeap(nvm.Config{Words: 4096 + 64, PersistLatency: nvm.NoLatency})
-	base := h.MustCarve(4096)
-	before := NewArena(h, base, 4096)
-	first, _ := before.Alloc(8)
-	second, _ := before.Alloc(16)
-	third, _ := before.Alloc(8)
-	before.Free(second) // a hole: freed before the "crash", leaked after
+func TestSplitServesSmallRequestFromLargerFreeBlock(t *testing.T) {
+	a := newArena(t, 8192)
+	big := a.MustAlloc(8 * nvm.WordsPerLine)
+	// A guard block so the frontier never adjoins the hole under test.
+	guard := a.MustAlloc(nvm.WordsPerLine)
+	a.Free(big)
+	usedBefore := a.Used()
 
-	// A fresh arena over the same region, as core.Open builds after a crash.
-	after := NewArena(h, base, 4096)
-	for _, b := range []struct {
-		addr  nvm.Addr
-		words int
-	}{{first, 8}, {third, 8}} {
-		if err := after.Adopt(b.addr, b.words); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if after.Live() != 2 {
-		t.Fatalf("Live() = %d, want 2", after.Live())
-	}
-	// New allocations must land past every adopted block.
-	fresh, err := after.Alloc(8)
+	// The small request must be carved out of the free block, not the
+	// frontier: mixed-size churn must reuse free space even on class misses.
+	small, err := a.Alloc(nvm.WordsPerLine)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fresh <= third {
-		t.Fatalf("fresh allocation %d overlaps adopted blocks (max %d)", fresh, third)
+	if small != big {
+		t.Fatalf("class-miss allocation did not split the free block: got %d, want %d", small, big)
 	}
-	// Adopted blocks free normally.
+	if a.Used() != usedBefore {
+		t.Fatalf("split allocation grew the arena: used %d -> %d", usedBefore, a.Used())
+	}
+	if got := a.FreeWords(); got != 7*nvm.WordsPerLine {
+		t.Fatalf("FreeWords() = %d after split, want %d", got, 7*nvm.WordsPerLine)
+	}
+	mid, err := a.Alloc(3 * nvm.WordsPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != big+nvm.WordsPerLine {
+		t.Fatalf("second split allocation at %d, want %d", mid, big+nvm.WordsPerLine)
+	}
+	checkAccounting(t, a)
+
+	// Freeing the pieces coalesces them back into one block.
+	a.Free(small)
+	a.Free(mid)
+	if got := a.FreeBlocks(); got != 1 {
+		t.Fatalf("FreeBlocks() = %d after coalescing frees, want 1", got)
+	}
+	if got := a.FreeWords(); got != 8*nvm.WordsPerLine {
+		t.Fatalf("FreeWords() = %d after coalescing frees, want %d", got, 8*nvm.WordsPerLine)
+	}
+	// The coalesced block serves the original large class again.
+	back, err := a.Alloc(8 * nvm.WordsPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != big {
+		t.Fatalf("coalesced block not reused: got %d, want %d", back, big)
+	}
+	_ = guard
+	checkAccounting(t, a)
+}
+
+func TestMixedSizeChurnDoesNotGrowArena(t *testing.T) {
+	a := newArena(t, 1<<14)
+	sizes := []int{3, 20, 9, 40, 1, 17}
+	var live []nvm.Addr
+	// Warm up: one block of each size, then free everything.
+	for _, s := range sizes {
+		live = append(live, a.MustAlloc(s))
+	}
+	for _, addr := range live {
+		a.Free(addr)
+	}
+	highWater := a.Used()
+	// Steady churn in varying interleavings must be served entirely from
+	// free space (splitting and coalescing as needed).
+	for round := 0; round < 50; round++ {
+		live = live[:0]
+		for i := range sizes {
+			live = append(live, a.MustAlloc(sizes[(i+round)%len(sizes)]))
+		}
+		for _, addr := range live {
+			a.Free(addr)
+		}
+	}
+	if a.Used() != highWater {
+		t.Fatalf("mixed-size churn grew the arena: %d -> %d words", highWater, a.Used())
+	}
+	checkAccounting(t, a)
+}
+
+func TestNewArenaRecoversExistingMetadata(t *testing.T) {
+	h := nvm.NewHeap(nvm.Config{Words: 8192, PersistLatency: nvm.NoLatency})
+	base := h.MustCarve(4096)
+	before := NewArena(h, base, 4096)
+	first := before.MustAlloc(8)
+	second := before.MustAlloc(16)
+	third := before.MustAlloc(8)
+	before.Free(second) // a hole: freed before the "crash"
+
+	// A fresh arena over the same region, as core.Open builds after a crash,
+	// recovers the allocator state from the persistent block headers: the
+	// live blocks are live, and the hole is on the free lists rather than
+	// leaked.
+	after := NewArena(h, base, 4096)
+	if after.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", after.Live())
+	}
+	if got, want := after.FreeWords(), SizeClass(16); got != want {
+		t.Fatalf("FreeWords() = %d, want %d (the freed hole)", got, want)
+	}
+	if after.Used() != before.Used() {
+		t.Fatalf("Used() = %d after recovery, want %d", after.Used(), before.Used())
+	}
+	checkAccounting(t, after)
+
+	// The hole is reusable at its old address.
+	hole, err := after.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hole != second {
+		t.Fatalf("recovered hole not reused: got %d, want %d", hole, second)
+	}
+	// Recovered blocks free normally.
 	after.Free(first)
 	if reused, _ := after.Alloc(8); reused != first {
-		t.Fatalf("freed adopted block not recycled: got %d, want %d", reused, first)
+		t.Fatalf("freed recovered block not recycled: got %d, want %d", reused, first)
 	}
+	_ = third
+	checkAccounting(t, after)
+}
 
-	if err := after.Adopt(third, 8); err == nil {
-		t.Fatal("double adoption accepted")
+func TestAdoptCarvesFromFreeSpaceAndFrontier(t *testing.T) {
+	a := newArena(t, 4096)
+	p := a.MustAlloc(8)
+	q := a.MustAlloc(4 * nvm.WordsPerLine)
+	a.Free(q) // free block of 4 lines at q
+
+	// Adopting inside the free block carves it out, leaving the remainders
+	// free.
+	inner := q + nvm.WordsPerLine
+	if err := a.Adopt(inner, nvm.WordsPerLine); err != nil {
+		t.Fatal(err)
 	}
-	if err := after.Adopt(base+4096*2, 8); err == nil {
+	if a.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", a.Live())
+	}
+	if got, want := a.FreeWords(), 3*nvm.WordsPerLine; got != want {
+		t.Fatalf("FreeWords() = %d, want %d", got, want)
+	}
+	checkAccounting(t, a)
+
+	// Adopting beyond the frontier frees the gap instead of leaking it.
+	frontier := a.Used()
+	far := a.dataBase + nvm.Addr(frontier+4*nvm.WordsPerLine)
+	if err := a.Adopt(far, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.FreeWords(), 3*nvm.WordsPerLine+4*nvm.WordsPerLine; got != want {
+		t.Fatalf("FreeWords() = %d after frontier adopt, want %d (gap freed)", got, want)
+	}
+	checkAccounting(t, a)
+	_ = p
+}
+
+// TestAdoptValidatesOverlap is the regression test for the overlap bug: Adopt
+// used to reject only exact-address duplicates, so a block overlapping a live
+// block at a different base silently corrupted the size map.
+func TestAdoptValidatesOverlap(t *testing.T) {
+	a := newArena(t, 4096)
+	big := a.MustAlloc(4 * nvm.WordsPerLine) // live, 4 lines
+
+	if err := a.Adopt(big, 8); err == nil {
+		t.Fatal("exact-duplicate adoption accepted")
+	}
+	// Overlap at a different base address: the original bug.
+	if err := a.Adopt(big+nvm.WordsPerLine, 8); err == nil {
+		t.Fatal("adoption overlapping a live block at a different base accepted")
+	}
+	// Straddling the live block's start from below (free space before it
+	// does not exist here, so this must also fail).
+	if err := a.Adopt(big, 2*nvm.WordsPerLine); err == nil {
+		t.Fatal("adoption straddling a live block accepted")
+	}
+	if err := a.Adopt(a.dataBase+nvm.Addr(a.DataWords()), 8); err == nil {
 		t.Fatal("adoption outside the arena accepted")
 	}
-	if err := after.Adopt(third+1, 8); err == nil {
+	if err := a.Adopt(big+1, 8); err == nil {
 		t.Fatal("unaligned adoption accepted")
 	}
+	if a.Live() != 1 {
+		t.Fatalf("failed adoptions changed the live set: Live() = %d, want 1", a.Live())
+	}
+	checkAccounting(t, a)
 }
 
 func TestDoubleFreePanics(t *testing.T) {
@@ -160,7 +316,8 @@ func TestContains(t *testing.T) {
 
 func TestAllocNeverOverlapsProperty(t *testing.T) {
 	// Property: for any interleaving of allocations of varying sizes and
-	// frees of previously allocated blocks, live blocks never overlap.
+	// frees of previously allocated blocks, live blocks never overlap and
+	// the occupancy accounting stays exact.
 	prop := func(ops []uint8) bool {
 		a := newArenaQuick(1 << 16)
 		type block struct {
@@ -191,7 +348,8 @@ func TestAllocNeverOverlapsProperty(t *testing.T) {
 				}
 			}
 		}
-		return true
+		st := a.Stats()
+		return st.LiveWords+st.FreeWords == st.UsedWords
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -209,7 +367,7 @@ func newArenaQuick(words int) *Arena {
 
 func TestTxLogAbortReleasesAllocations(t *testing.T) {
 	a := newArena(t, 4096)
-	l := NewTxLog(a)
+	l := NewTxLog(a, nil)
 	l.Begin()
 	l.Alloc(4)
 	l.Alloc(4)
@@ -224,7 +382,7 @@ func TestTxLogAbortReleasesAllocations(t *testing.T) {
 
 func TestTxLogCommitAppliesDeferredFrees(t *testing.T) {
 	a := newArena(t, 4096)
-	l := NewTxLog(a)
+	l := NewTxLog(a, nil)
 
 	l.Begin()
 	persistent := l.Alloc(4)
@@ -247,7 +405,7 @@ func TestTxLogCommitAppliesDeferredFrees(t *testing.T) {
 
 func TestTxLogAbortDiscardsDeferredFrees(t *testing.T) {
 	a := newArena(t, 4096)
-	l := NewTxLog(a)
+	l := NewTxLog(a, nil)
 	l.Begin()
 	persistent := l.Alloc(4)
 	l.Commit()
@@ -262,7 +420,7 @@ func TestTxLogAbortDiscardsDeferredFrees(t *testing.T) {
 
 func TestTxLogReplayReturnsSameAddresses(t *testing.T) {
 	a := newArena(t, 4096)
-	l := NewTxLog(a)
+	l := NewTxLog(a, nil)
 	l.Begin()
 	first := []nvm.Addr{l.Alloc(2), l.Alloc(8), l.Alloc(2)}
 
@@ -282,7 +440,7 @@ func TestTxLogReplayReturnsSameAddresses(t *testing.T) {
 
 func TestTxLogReplayCanGrow(t *testing.T) {
 	a := newArena(t, 4096)
-	l := NewTxLog(a)
+	l := NewTxLog(a, nil)
 	l.Begin()
 	l.Alloc(2)
 	l.BeginReplay()
@@ -298,4 +456,33 @@ func TestTxLogReplayCanGrow(t *testing.T) {
 	if a.Live() != 0 {
 		t.Fatalf("abort after replay leaked %d blocks", a.Live())
 	}
+}
+
+// TestTxLogSteadyStateAllocs pins the transactional allocation hot path at
+// zero Go allocations once warm: the persistent header writes must not put
+// closures, slices, or map growth on the Alloc/Free path.
+func TestTxLogSteadyStateAllocs(t *testing.T) {
+	h := nvm.NewHeap(nvm.Config{Words: 1 << 16, PersistLatency: nvm.NoLatency})
+	a, err := NewArenaCarved(h, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := h.NewFlusher()
+	l := NewTxLog(a, f)
+	cycle := func() {
+		l.Begin()
+		b1 := l.Alloc(8)
+		b2 := l.Alloc(24)
+		l.Free(b1)
+		l.Free(b2)
+		l.Commit()
+		f.Drain()
+	}
+	for i := 0; i < 20; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state transactional alloc/free allocated %v times per run, want 0", allocs)
+	}
+	checkAccounting(t, a)
 }

@@ -1,0 +1,240 @@
+package alloc
+
+import (
+	"testing"
+
+	"crafty/internal/nvm"
+)
+
+// newTrackedArena builds an arena over a persistence-tracked heap so crashes
+// can be injected.
+func newTrackedArena(t *testing.T, words int) *Arena {
+	t.Helper()
+	h := nvm.NewHeap(nvm.Config{
+		Words:            words + 128,
+		PersistLatency:   nvm.NoLatency,
+		TrackPersistence: true,
+	})
+	a, err := NewArenaCarved(h, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// onlyAddrs is an adversarial crash policy that persists exactly the listed
+// outstanding words and loses every other unfenced write.
+type onlyAddrs map[nvm.Addr]bool
+
+func (p onlyAddrs) Persist(a nvm.Addr) bool { return p[a] }
+
+func TestRecoverAfterCrashRebuildsState(t *testing.T) {
+	a := newTrackedArena(t, 4096)
+	h := heapOf(a)
+	blocks := []nvm.Addr{
+		a.MustAlloc(8),
+		a.MustAlloc(24),
+		a.MustAlloc(8),
+		a.MustAlloc(16),
+	}
+	a.Free(blocks[1])
+	a.Free(blocks[3])
+	liveBefore, freeBefore, usedBefore := a.LiveWords(), a.FreeWords(), a.Used()
+
+	// The direct Alloc/Free path drains its metadata writes, so even the
+	// most pessimistic crash preserves the allocator state exactly.
+	h.Crash(nvm.PersistNone{})
+	after := NewArena(h, a.base, a.words)
+	if after.Live() != 2 {
+		t.Fatalf("Live() = %d after recovery, want 2", after.Live())
+	}
+	if after.LiveWords() != liveBefore || after.FreeWords() != freeBefore || after.Used() != usedBefore {
+		t.Fatalf("recovered occupancy live=%d free=%d used=%d, want live=%d free=%d used=%d",
+			after.LiveWords(), after.FreeWords(), after.Used(), liveBefore, freeBefore, usedBefore)
+	}
+	checkAccounting(t, after)
+
+	// Freed holes are reusable at their old addresses.
+	if got, _ := after.Alloc(24); got != blocks[1] {
+		t.Fatalf("recovered hole not reused: got %d, want %d", got, blocks[1])
+	}
+	if got, _ := after.Alloc(16); got != blocks[3] {
+		t.Fatalf("recovered trailing hole not reused: got %d, want %d", got, blocks[3])
+	}
+}
+
+// TestRecoverQuarantinesLostFrontierHeader injects the one crash the header
+// chain cannot describe: a frontier allocation whose high-water flush
+// persisted while its header flush did not (the allocating transaction never
+// durably committed, or the adversary chose word-by-word). The scavenge must
+// quarantine the unparseable tail rather than hand it out, and a reconciling
+// pass with the reachable set must then reclaim it exactly.
+func TestRecoverQuarantinesLostFrontierHeader(t *testing.T) {
+	a := newTrackedArena(t, 4096)
+	h := heapOf(a)
+	x1 := a.MustAlloc(8)
+	x2 := a.MustAlloc(8) // durable: the sync path drains
+
+	// An unfenced transactional-path allocation: header and high-water mark
+	// are flushed on the thread flusher but not yet fenced at the crash.
+	f := h.NewFlusher()
+	y, err := a.AllocFlush(8, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Crash(onlyAddrs{a.metaBase + offArenaHighWater: true})
+
+	after := NewArena(h, a.base, a.words)
+	// The tail [y, highWater) is unparseable (its header word never
+	// persisted) and must be quarantined as allocated, not freed.
+	if after.Live() != 3 {
+		t.Fatalf("Live() = %d after quarantine, want 3 (x1, x2, quarantined tail)", after.Live())
+	}
+	if after.FreeWords() != 0 {
+		t.Fatalf("FreeWords() = %d, want 0 (nothing may be handed out of the torn tail)", after.FreeWords())
+	}
+	checkAccounting(t, after)
+	// Nothing the arena hands out may overlap the quarantined tail.
+	if got := after.MustAlloc(8); got < y+8 {
+		t.Fatalf("allocation at %d overlaps the quarantined tail at %d", got, y)
+	}
+
+	// Reconciliation with the true reachable set (y's transaction rolled
+	// back, so only x1 and x2 survive) releases the quarantined words.
+	rep, err := after.Recover([]Block{{Addr: x1, Words: 8}, {Addr: x2, Words: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LiveWords != 2*8 {
+		t.Fatalf("reconciled LiveWords = %d, want 16", rep.LiveWords)
+	}
+	if rep.FreeWords != after.Used()-16 {
+		t.Fatalf("reconciled FreeWords = %d, want %d (quarantine released)", rep.FreeWords, after.Used()-16)
+	}
+	checkAccounting(t, after)
+}
+
+// TestRecoverReconcileRestoresPrematureFreeHeader injects the suffix-rollback
+// hazard: a Free's header flip persisted, but engine recovery rolled the
+// freeing transaction back, so the block is still reachable. Header-only
+// scavenging sees it free; the reconciling pass must force it live again so
+// it is never handed out while the index references it.
+func TestRecoverReconcileRestoresPrematureFreeHeader(t *testing.T) {
+	a := newTrackedArena(t, 4096)
+	h := heapOf(a)
+	p := a.MustAlloc(16)
+	q := a.MustAlloc(8)
+
+	// Unfenced transactional free of p whose header flip the adversary
+	// chooses to persist anyway.
+	f := h.NewFlusher()
+	a.FreeFlush(p, f)
+	h.Crash(onlyAddrs{a.headerAddr(p): true})
+
+	after := NewArena(h, a.base, a.words)
+	if after.FreeWords() != 16 {
+		t.Fatalf("scavenge FreeWords = %d, want 16 (premature free header visible)", after.FreeWords())
+	}
+
+	// The freeing transaction rolled back: p is still reachable.
+	rep, err := after.Recover([]Block{{Addr: p, Words: 16}, {Addr: q, Words: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ForcedLive == 0 {
+		t.Fatalf("reconciliation did not report forcing the prematurely freed block live: %+v", rep)
+	}
+	if after.FreeWords() != 0 || after.LiveWords() != 24 {
+		t.Fatalf("reconciled occupancy live=%d free=%d, want live=24 free=0", after.LiveWords(), after.FreeWords())
+	}
+	// p must not be handed out while reachable.
+	if got := after.MustAlloc(16); got == p {
+		t.Fatalf("reachable block %d handed out after reconciliation", p)
+	}
+	checkAccounting(t, after)
+}
+
+// TestRecoverReconcileDropsUnreachableBlocks covers the converse: blocks
+// whose headers say allocated but which no persistent root references (their
+// allocating transaction rolled back, or a committed free's header flip was
+// lost) must return to the free lists instead of leaking.
+func TestRecoverReconcileDropsUnreachableBlocks(t *testing.T) {
+	a := newTrackedArena(t, 4096)
+	h := heapOf(a)
+	keep := a.MustAlloc(8)
+	orphan1 := a.MustAlloc(24)
+	orphan2 := a.MustAlloc(8)
+
+	h.Crash(nvm.PersistNone{}) // allocator metadata was drained; all survive
+	after := NewArena(h, a.base, a.words)
+	if after.Live() != 3 {
+		t.Fatalf("Live() = %d after scavenge, want 3", after.Live())
+	}
+
+	rep, err := after.Recover([]Block{{Addr: keep, Words: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 2 {
+		t.Fatalf("reconciliation dropped %d blocks, want 2", rep.Dropped)
+	}
+	if after.Live() != 1 || after.FreeWords() != SizeClass(24)+SizeClass(8) {
+		t.Fatalf("after reconcile: live=%d freeWords=%d, want live=1 freeWords=%d",
+			after.Live(), after.FreeWords(), SizeClass(24)+SizeClass(8))
+	}
+	// The orphans' space is immediately reusable (coalesced into one gap).
+	if got, _ := after.Alloc(32); got != orphan1 {
+		t.Fatalf("reclaimed orphan space not reused: got %d, want %d", got, orphan1)
+	}
+	_ = orphan2
+	checkAccounting(t, after)
+}
+
+// TestRecoverRejectsOverlappingReachableSet: overlapping caller metadata must
+// fail rather than corrupt the rebuilt allocator.
+func TestRecoverRejectsOverlappingReachableSet(t *testing.T) {
+	a := newTrackedArena(t, 4096)
+	p := a.MustAlloc(32)
+	if _, err := a.Recover([]Block{
+		{Addr: p, Words: 32},
+		{Addr: p + nvm.WordsPerLine, Words: 8},
+	}); err == nil {
+		t.Fatal("overlapping reachable blocks accepted")
+	}
+}
+
+// TestRecoverCoversReachableBeyondHighWater: if the adversary loses the
+// high-water flush but the caller proves a frontier block reachable, the
+// reconciled frontier must cover it.
+func TestRecoverCoversReachableBeyondHighWater(t *testing.T) {
+	a := newTrackedArena(t, 4096)
+	h := heapOf(a)
+	p := a.MustAlloc(8) // durable
+
+	f := h.NewFlusher()
+	q, err := a.AllocFlush(16, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither q's header nor the advanced high-water mark persists.
+	h.Crash(nvm.PersistNone{})
+
+	after := NewArena(h, a.base, a.words)
+	if after.Used() != SizeClass(8) {
+		t.Fatalf("Used() = %d after crash, want %d (frontier rolled back)", after.Used(), SizeClass(8))
+	}
+	if _, err := after.Recover([]Block{{Addr: p, Words: 8}, {Addr: q, Words: 16}}); err != nil {
+		t.Fatal(err)
+	}
+	if after.Used() != SizeClass(8)+SizeClass(16) {
+		t.Fatalf("Used() = %d after reconcile, want %d", after.Used(), SizeClass(8)+SizeClass(16))
+	}
+	if after.LiveWords() != SizeClass(8)+SizeClass(16) || after.FreeWords() != 0 {
+		t.Fatalf("reconciled occupancy live=%d free=%d", after.LiveWords(), after.FreeWords())
+	}
+	// New allocations land past the reconciled frontier.
+	if got := after.MustAlloc(8); got < q+nvm.Addr(SizeClass(16)) {
+		t.Fatalf("allocation at %d overlaps reconciled block at %d", got, q)
+	}
+	checkAccounting(t, after)
+}

@@ -14,19 +14,28 @@ import "crafty/internal/nvm"
 //     never does.
 //
 // A TxLog belongs to one thread and is reset at each transaction boundary.
+// It carries the thread's flusher so the arena's persistent header writes
+// ride the thread's existing persist batching: a header flushed during the
+// body is fenced by the same drain or hardware-transaction commit that makes
+// the transaction's log entries durable, costing the hot path no extra NVM
+// round trips.
 type TxLog struct {
-	arena  *Arena
-	allocs []nvm.Addr
-	frees  []nvm.Addr
+	arena   *Arena
+	flusher *nvm.Flusher
+	allocs  []nvm.Addr
+	frees   []nvm.Addr
 
 	// replay is the index of the next recorded allocation to hand back out
 	// while re-executing a body (Validate phase); -1 means live allocation.
 	replay int
 }
 
-// NewTxLog creates an allocation log over arena.
-func NewTxLog(arena *Arena) *TxLog {
-	return &TxLog{arena: arena, replay: -1}
+// NewTxLog creates an allocation log over arena. flusher is the owning
+// thread's persist handle (it fences block-header flushes at the thread's
+// transaction boundaries); nil falls back to the arena's internal synchronous
+// flusher, which drains on every operation.
+func NewTxLog(arena *Arena, flusher *nvm.Flusher) *TxLog {
+	return &TxLog{arena: arena, flusher: flusher, replay: -1}
 }
 
 // Arena returns the underlying allocator.
@@ -61,12 +70,12 @@ func (l *TxLog) Alloc(words int) nvm.Addr {
 		// The re-execution allocated more than the original run (it observed
 		// different state); fall through to a live allocation, which will be
 		// released if the attempt fails.
-		addr := l.arena.MustAlloc(words)
+		addr := l.arena.mustAllocFlush(words, l.flusher)
 		l.allocs = append(l.allocs, addr)
 		l.replay = len(l.allocs)
 		return addr
 	}
-	addr := l.arena.MustAlloc(words)
+	addr := l.arena.mustAllocFlush(words, l.flusher)
 	l.allocs = append(l.allocs, addr)
 	return addr
 }
@@ -80,7 +89,7 @@ func (l *TxLog) Free(addr nvm.Addr) {
 // committed, so its memory must not leak. Deferred frees are discarded.
 func (l *TxLog) Abort() {
 	for _, addr := range l.allocs {
-		l.arena.Free(addr)
+		l.arena.FreeFlush(addr, l.flusher)
 	}
 	l.allocs = l.allocs[:0]
 	l.frees = l.frees[:0]
@@ -93,11 +102,11 @@ func (l *TxLog) Abort() {
 func (l *TxLog) Commit() {
 	if l.replay >= 0 {
 		for _, addr := range l.allocs[l.replay:] {
-			l.arena.Free(addr)
+			l.arena.FreeFlush(addr, l.flusher)
 		}
 	}
 	for _, addr := range l.frees {
-		l.arena.Free(addr)
+		l.arena.FreeFlush(addr, l.flusher)
 	}
 	l.allocs = l.allocs[:0]
 	l.frees = l.frees[:0]

@@ -82,3 +82,117 @@ func TestAtomicReadOnlySteadyStateAllocs(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestAtomicAllocFreeSteadyStateAllocs extends the allocation-free gate to
+// transactions that allocate and free arena blocks: the allocator's
+// persistent block-header writes (and their flushes, which ride the thread's
+// existing persist batching) must add zero Go allocations to the hot path.
+func TestAtomicAllocFreeSteadyStateAllocs(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 18, PersistLatency: nvm.NoLatency})
+	eng, err := NewEngine(heap, Config{LogEntries: 1 << 12, ArenaWords: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(tx ptm.Tx) error {
+		b := tx.Alloc(16)
+		tx.Store(b, 42)
+		tx.Store(b+8, 43)
+		tx.Free(b)
+		return nil
+	}
+	for i := 0; i < 20; i++ {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state alloc/free transaction allocated %v times per run, want 0", allocs)
+	}
+	if a := eng.Arena(); a.Live() != 0 {
+		t.Fatalf("committed alloc/free transactions leaked %d blocks", a.Live())
+	}
+}
+
+// TestReopenRecoversArenaState proves the engine-level allocator recovery
+// hook: after a crash, core.Open rebuilds the arena's free lists and size
+// map from the persistent block headers — freed space stays reusable with no
+// kv-style reachability information needed. (Adversarial persistence
+// policies are exercised in internal/alloc and the kv crash tests; here the
+// optimistic policy isolates the reattach path.)
+func TestReopenRecoversArenaState(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{
+		Words:            1 << 18,
+		PersistLatency:   nvm.NoLatency,
+		TrackPersistence: true,
+	})
+	cfg := Config{LogEntries: 1 << 12, ArenaWords: 1 << 14}
+	eng, err := NewEngine(heap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := eng.Layout()
+	th, err := eng.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep, hole nvm.Addr
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		keep = tx.Alloc(16)
+		hole = tx.Alloc(24)
+		tx.Store(keep, 7)
+		tx.Store(hole, 8)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Free(hole)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := eng.Arena().Used()
+
+	heap.Crash(nvm.PersistAll{})
+	report, err := Recover(heap, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := Open(heap, layout, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	eng2.AdvanceClock(report.MaxTimestamp)
+
+	a := eng2.Arena()
+	if a.Live() != 1 || a.LiveWords() != 16 {
+		t.Fatalf("recovered arena: %d live blocks (%d words), want 1 (16)", a.Live(), a.LiveWords())
+	}
+	if a.FreeWords() != 24 || a.Used() != usedBefore {
+		t.Fatalf("recovered arena: free %d used %d, want free 24 used %d", a.FreeWords(), a.Used(), usedBefore)
+	}
+	// The freed hole is immediately reusable through a new transaction.
+	th2, err := eng2.RegisterThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th2.Atomic(func(tx ptm.Tx) error {
+		if got := tx.Alloc(24); got != hole {
+			t.Errorf("recovered hole not reused: got %d, want %d", got, hole)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = keep
+}

@@ -360,7 +360,7 @@ func (e *Engine) RegisterThread() (*Thread, error) {
 		flusher: flusher,
 	}
 	if e.arena != nil {
-		t.txAlloc = alloc.NewTxLog(e.arena)
+		t.txAlloc = alloc.NewTxLog(e.arena, flusher)
 	}
 	e.threads = append(e.threads, t)
 	e.workers.Store(int32(len(e.threads)))

@@ -119,6 +119,7 @@ func testCrashRecovery(t *testing.T, persistProb float64) {
 		t.Fatalf("reopen after crash (recovery rolled back %d sequences): %v",
 			report.SequencesRolledBack, err)
 	}
+	checkArenaAccounting(t, eng2)
 
 	// Every surviving value must be one that was actually committed for its
 	// key: recovery may roll back whole recent transactions (restoring an
@@ -223,6 +224,7 @@ func TestCrashDuringLoad(t *testing.T) {
 			if err != nil {
 				t.Fatalf("reopen: %v", err)
 			}
+			checkArenaAccounting(t, eng2)
 			// The surviving prefix must be contiguous in effect: each key is
 			// either at its (only) written value or absent, and the store
 			// still loads the rest.
@@ -243,6 +245,179 @@ func TestCrashDuringLoad(t *testing.T) {
 			if _, err := s2.Verify(heap); err != nil {
 				t.Fatal(err)
 			}
+		})
+	}
+}
+
+// arenaOfEngine digs the arena out of a core engine for occupancy checks.
+func checkArenaAccounting(t *testing.T, eng *core.Engine) {
+	t.Helper()
+	st := eng.Arena().Stats()
+	if st.LiveWords+st.FreeWords != st.UsedWords {
+		t.Fatalf("arena leaked words after recovery: live %d + free %d != used %d",
+			st.LiveWords, st.FreeWords, st.UsedWords)
+	}
+}
+
+// TestCrashRecoveryLeakFreeCycles is the acceptance test for the
+// crash-recoverable allocator: a fixed-key churn workload (updates and
+// deletes, so blocks are freed constantly) runs through repeated
+// crash/recover/Reopen cycles, and the arena's high-water mark must not grow
+// across cycles — previously every cycle leaked all blocks that were free at
+// the crash, so sustained operation eventually exhausted the arena.
+func TestCrashRecoveryLeakFreeCycles(t *testing.T) {
+	heap := nvm.NewHeap(nvm.Config{
+		Words:            1 << 22,
+		PersistLatency:   nvm.NoLatency,
+		TrackPersistence: true,
+	})
+	cfg := core.Config{ArenaWords: 1 << 20}
+	eng, err := core.NewEngine(heap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := eng.Layout()
+	th := eng.Register()
+	// Sized so the fixed key set never triggers a rehash: growth here must
+	// come only from allocator leaks, which there must be none of.
+	s, err := Create(eng, th, Config{Shards: 4, InitialSlotsPerShard: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := s.Root()
+
+	const keys = 200
+	// Churn runs on the engine's one worker thread (the setup thread doubles
+	// as the worker, so no idle thread's old last-logged sequence forces
+	// recovery to rewind the whole run).
+	churn := func(w ptm.Thread, st *Store, seed int64) {
+		t.Helper()
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 600; op++ {
+			k := rng.Intn(keys)
+			key := []byte(fmt.Sprintf("key-%04d", k))
+			if rng.Intn(4) == 0 {
+				if _, err := st.Delete(w, key); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			val := []byte(fmt.Sprintf("value-%04d-%08d-padding-to-fixed-len", k, op))
+			if err := st.Put(w, key, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	churn(th, s, 1)
+	var used []int
+	const cycles = 4
+	for cycle := 0; cycle < cycles; cycle++ {
+		heap.Crash(nvm.NewRandomPolicy(int64(1000+cycle), 0.5))
+		report, err := core.Recover(heap, layout)
+		if err != nil {
+			t.Fatalf("cycle %d: recover: %v", cycle, err)
+		}
+		eng2, err := core.Open(heap, layout, cfg)
+		if err != nil {
+			t.Fatalf("cycle %d: open: %v", cycle, err)
+		}
+		eng2.AdvanceClock(report.MaxTimestamp)
+		s2, err := Reopen(eng2, root)
+		if err != nil {
+			t.Fatalf("cycle %d: reopen: %v", cycle, err)
+		}
+		checkArenaAccounting(t, eng2)
+		used = append(used, eng2.Arena().Used())
+		churn(eng2.Register(), s2, int64(cycle+2))
+		eng.Close()
+		eng = eng2
+	}
+	t.Logf("arena high-water per cycle: %v words", used)
+	// The first cycle may still be reaching the workload's steady-state peak;
+	// from then on the high-water mark must not move at all — previously it
+	// grew every cycle by everything free at that cycle's crash.
+	if used[cycles-1] > used[1] {
+		t.Fatalf("arena grew across crash/recovery cycles: %v", used)
+	}
+	eng.Close()
+}
+
+// TestCrashAfterDeleteBurst crashes immediately after a burst of deletes so
+// the adversary can catch frees mid-flight: free-list header flips may have
+// persisted for transactions recovery rolls back, and committed deletes'
+// flips may be lost. Reopen's reconciliation must resolve both directions
+// with zero leaked words.
+func TestCrashAfterDeleteBurst(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			heap := nvm.NewHeap(nvm.Config{
+				Words:            1 << 22,
+				PersistLatency:   nvm.NoLatency,
+				TrackPersistence: true,
+			})
+			cfg := core.Config{ArenaWords: 1 << 20}
+			eng, err := core.NewEngine(heap, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layout := eng.Layout()
+			th := eng.Register()
+			s, err := Create(eng, th, Config{Shards: 2, InitialSlotsPerShard: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 150
+			for i := 0; i < n; i++ {
+				if err := s.Put(th, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("value-%03d-abcdefghijklmnopqrstuvwxyz", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Delete every other key and crash with the frees in flight.
+			for i := 0; i < n; i += 2 {
+				if _, err := s.Delete(th, []byte(fmt.Sprintf("k%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			root := s.Root()
+			heap.Crash(nvm.NewRandomPolicy(seed, 0.5))
+			report, err := core.Recover(heap, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng2, err := core.Open(heap, layout, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng2.Close()
+			eng2.AdvanceClock(report.MaxTimestamp)
+			s2, err := Reopen(eng2, root)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			checkArenaAccounting(t, eng2)
+
+			th2 := eng2.Register()
+			for i := 0; i < n; i++ {
+				key := []byte(fmt.Sprintf("k%03d", i))
+				v, ok, err := s2.Get(th2, key, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok && string(v) != fmt.Sprintf("value-%03d-abcdefghijklmnopqrstuvwxyz", i) {
+					t.Fatalf("key %s torn: %q", key, v)
+				}
+				// Overwrite everything: reclaimed blocks must be safely
+				// reusable whatever the crash did to the free lists.
+				if err := s2.Put(th2, key, []byte(fmt.Sprintf("post-%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s2.Verify(heap); err != nil {
+				t.Fatalf("final verify: %v", err)
+			}
+			checkArenaAccounting(t, eng2)
 		})
 	}
 }

@@ -193,10 +193,16 @@ func Create(eng ptm.Engine, th ptm.Thread, cfg Config) (*Store, error) {
 }
 
 // Reopen re-materializes a store from its root address after the engine-level
-// recovery has run (e.g. crafty.Recover followed by crafty.Reopen). It
-// verifies the whole index and rebuilds the engine arena's volatile
-// allocation state by adopting every block still reachable from the index;
-// eng must therefore expose its arena (core.Engine does).
+// recovery has run (e.g. crafty.Recover followed by crafty.Reopen, which
+// scavenges the arena's persistent block headers). It verifies the whole
+// index, then reconciles the arena against the verified reachable set: every
+// table and live entry block becomes live and everything else below the
+// arena's high-water mark returns to the free lists — including blocks that
+// were free at the crash, blocks orphaned by rolled-back transactions, and
+// any frontier tail the header scavenge had to quarantine. Reopen fails if a
+// single word is left unaccounted, so a crash/recover cycle never shrinks
+// the arena's usable space. eng must expose its arena (every engine in this
+// repository does).
 func Reopen(eng ptm.Engine, root nvm.Addr) (*Store, error) {
 	heap := eng.Heap()
 	if got := heap.Load(root + offMagic); got != magicWord {
@@ -216,8 +222,15 @@ func Reopen(eng ptm.Engine, root nvm.Addr) (*Store, error) {
 	if arena == nil {
 		return nil, fmt.Errorf("kv: engine %s does not expose an allocation arena to rebuild", eng.Name())
 	}
-	if err := s.adoptBlocks(heap, arena); err != nil {
+	reachable, err := s.reachableBlocks(heap)
+	if err != nil {
 		return nil, err
+	}
+	// Recover's reconciling form fails unless live + free words exactly
+	// cover the arena's high-water mark, so a successful return is the
+	// zero-leak guarantee.
+	if _, err := arena.Recover(reachable); err != nil {
+		return nil, fmt.Errorf("kv: reconciling arena with the index: %w", err)
 	}
 	prepareArena(eng)
 	return s, nil

@@ -125,13 +125,14 @@ func (s *Store) checkEntry(heap *nvm.Heap, sh int, tag uint64, block nvm.Addr) (
 	return string(key), nil
 }
 
-// adoptBlocks rebuilds the volatile allocator state after a crash by adopting
-// every block reachable from the index: each shard's tables (active, old, and
-// pending) and every live entry's block. Blocks that were free, or became
-// unreachable because a delete's free never replayed, are leaked until the
-// next rebuild — the allocator's volatile-metadata limitation recorded in
-// DESIGN.md. Overlapping adopted ranges indicate a corrupt index and fail.
-func (s *Store) adoptBlocks(heap *nvm.Heap, arena *alloc.Arena) error {
+// reachableBlocks enumerates every arena block reachable from the index —
+// each shard's tables (active, old, and pending) and every live entry's
+// block — which is by construction the complete live set: the index is the
+// store's only persistent root. kv.Reopen hands the set to the arena's
+// reconciling recovery, which makes every other word below the high-water
+// mark reusable, so nothing leaks across a crash. Overlapping regions
+// indicate a corrupt index and fail with a description of both.
+func (s *Store) reachableBlocks(heap *nvm.Heap) ([]alloc.Block, error) {
 	type region struct {
 		addr  nvm.Addr
 		words int
@@ -176,17 +177,16 @@ func (s *Store) adoptBlocks(heap *nvm.Heap, arena *alloc.Arena) error {
 		}
 	}
 	sort.Slice(regions, func(i, j int) bool { return regions[i].addr < regions[j].addr })
-	for i := 1; i < len(regions); i++ {
-		prev, cur := regions[i-1], regions[i]
-		if prev.addr+nvm.Addr(prev.words) > cur.addr {
-			return fmt.Errorf("kv: %s [%d,+%d) overlaps %s [%d,+%d)",
-				prev.what, prev.addr, prev.words, cur.what, cur.addr, cur.words)
+	blocks := make([]alloc.Block, 0, len(regions))
+	for i, r := range regions {
+		if i > 0 {
+			prev := regions[i-1]
+			if prev.addr+nvm.Addr(alloc.SizeClass(prev.words)) > r.addr {
+				return nil, fmt.Errorf("kv: %s [%d,+%d) overlaps %s [%d,+%d)",
+					prev.what, prev.addr, prev.words, r.what, r.addr, r.words)
+			}
 		}
+		blocks = append(blocks, alloc.Block{Addr: r.addr, Words: r.words})
 	}
-	for _, r := range regions {
-		if err := arena.Adopt(r.addr, r.words); err != nil {
-			return fmt.Errorf("kv: adopting %s: %w", r.what, err)
-		}
-	}
-	return nil
+	return blocks, nil
 }

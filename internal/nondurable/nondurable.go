@@ -90,7 +90,9 @@ func (e *Engine) Register() ptm.Thread {
 	defer e.mu.Unlock()
 	t := &Thread{eng: e, hw: e.hw.NewThread(int64(len(e.threads)))}
 	if e.arena != nil {
-		t.txAlloc = alloc.NewTxLog(e.arena)
+		// The hardware thread's flusher fences the arena's block-header
+		// flushes at HTM commits; the engine itself persists nothing.
+		t.txAlloc = alloc.NewTxLog(e.arena, t.hw.Flusher())
 	}
 	e.threads = append(e.threads, t)
 	return t

@@ -216,7 +216,7 @@ func (e *Engine) Register() ptm.Thread {
 	}
 	t.flusher = t.hw.Flusher()
 	if e.arena != nil {
-		t.txAlloc = alloc.NewTxLog(e.arena)
+		t.txAlloc = alloc.NewTxLog(e.arena, t.flusher)
 	}
 	e.threads = append(e.threads, t)
 	return t

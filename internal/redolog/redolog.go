@@ -92,7 +92,7 @@ func (e *Engine) Register() ptm.Thread {
 		buffer:  make(map[nvm.Addr]uint64, 32),
 	}
 	if e.arena != nil {
-		t.txAlloc = alloc.NewTxLog(e.arena)
+		t.txAlloc = alloc.NewTxLog(e.arena, t.flusher)
 	}
 	e.threads = append(e.threads, t)
 	return t

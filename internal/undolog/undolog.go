@@ -92,7 +92,7 @@ func (e *Engine) Register() ptm.Thread {
 		logCap:  e.cfg.LogWords,
 	}
 	if e.arena != nil {
-		t.txAlloc = alloc.NewTxLog(e.arena)
+		t.txAlloc = alloc.NewTxLog(e.arena, t.flusher)
 	}
 	e.threads = append(e.threads, t)
 	return t

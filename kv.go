@@ -30,8 +30,12 @@ func NewKV(eng ptm.Engine, th Thread, cfg KVConfig) (*KV, error) {
 
 // ReopenKV re-materializes a store from its root address after a crash. Call
 // it after the engine-level recovery flow (Recover, then Reopen, then
-// AdvanceClock); it verifies the whole index and rebuilds the allocator's
-// volatile state from the blocks the index still references.
+// AdvanceClock); it verifies the whole index, then reconciles the engine's
+// allocation arena against the verified reachable set: every index table and
+// live entry block stays allocated, and every other word below the arena's
+// high-water mark returns to the free lists. ReopenKV fails if a single word
+// is left unaccounted, so repeated crash/recovery cycles never shrink the
+// store's usable space.
 func ReopenKV(eng ptm.Engine, root Addr) (*KV, error) {
 	return kv.Reopen(eng, root)
 }
