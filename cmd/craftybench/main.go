@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig6", "fig6|fig7|fig8|fig22|fig23|fig24|kv|kvfull|table1|breakdowns|all")
+		experiment = flag.String("experiment", "fig6", "fig6|fig7|fig8|fig22|fig23|fig24|kv|kvfull|batch|table1|breakdowns|all")
 		ops        = flag.Int("ops", 5000, "operations per thread per measurement")
 		threads    = flag.String("threads", "", "comma-separated thread counts overriding the paper's 1,2,4,8,12,15,16")
 		seed       = flag.Int64("seed", 1, "random seed")

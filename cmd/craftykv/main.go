@@ -1,7 +1,18 @@
 // Command craftykv serves the durable key-value store over TCP: a minimal
-// text protocol (GET/PUT/DEL) over the crash-consistent kv subsystem running
-// on a Crafty engine with persistence tracking enabled, demonstrating the
-// store serving concurrent client connections and surviving a power failure.
+// text protocol (GET/PUT/DEL and their batched forms) over the
+// crash-consistent kv subsystem running on a Crafty engine with persistence
+// tracking enabled, demonstrating the store serving concurrent client
+// connections and surviving a power failure.
+//
+// Requests flow through a sharded scheduler (scheduler.go): each connection's
+// reader parses commands and routes their operations onto per-worker queues
+// by key shard; each worker drains its queue and commits the drained
+// mutations — from however many connections — in one kv group commit
+// (Store.Apply), so concurrent write traffic pays the engine's
+// per-transaction costs once per shard group instead of once per operation.
+// Responses are routed back to each connection's writer goroutine, which
+// renders them strictly in request order and flushes once per pipelined
+// burst.
 //
 // Because the NVM is emulated in process memory, a "restart" is modelled the
 // way the crash-consistency tests model it: the CRASH command injects a power
@@ -12,36 +23,28 @@
 // would observe across a real restart: every committed-and-persisted write
 // survives; recently committed transactions may roll back whole.
 //
-// Protocol (one request per line, space-separated tokens; values must not
-// contain spaces):
+// Protocol (one request per line, space-separated tokens; keys and values
+// must not contain spaces):
 //
-//	PUT <key> <value>   -> OK
-//	GET <key>           -> VAL <value> | NIL
-//	MGET <key> [...]    -> VAL <value> | NIL, one line per key in order
-//	                       (served by Store.MultiGet: same-shard keys share
-//	                       one read-only fast-path transaction)
-//	DEL <key>           -> OK | NIL
-//	LEN                 -> LEN <n>
-//	STATS               -> STATS live_blocks=<n> live_words=<n> ...
-//	                       (real arena occupancy: live + free words always
-//	                       account for the whole high-water mark, including
-//	                       across CRASH/recovery cycles)
-//	SYNC                -> OK            (quiesce every worker log: a group
-//	                                      fsync, making prior writes safe
-//	                                      against the next crash)
-//	CRASH               -> OK rolled_back=<n> entries=<n>
-//	QUIT                -> BYE
+//	PUT <key> <value>          -> OK
+//	GET <key>                  -> VAL <value> | NIL
+//	MGET <key> [...]           -> VAL <value> | NIL, one line per key in order
+//	MPUT <key> <value> [...]   -> OK <n> (all pairs written) | ERR
+//	MDEL <key> [...]           -> OK | NIL, one line per key in order
+//	DEL <key>                  -> OK | NIL
+//	LEN                        -> LEN <n>
+//	STATS                      -> STATS live_blocks=<n> live_words=<n> ...
+//	SYNC                       -> OK            (scheduler barrier: every
+//	                                             worker quiesces its log, so
+//	                                             prior writes survive the
+//	                                             next crash)
+//	CRASH                      -> OK rolled_back=<n> entries=<n>
+//	QUIT                       -> BYE
 //
-// Usage:
-//
-//	craftykv -addr :7070 -shards 64 -pool 8
-//	printf 'PUT greeting hello\nGET greeting\n' | nc localhost 7070
-//
-// Responses are written through a per-connection buffered writer that is
-// flushed only once no further request bytes are already buffered, so a
-// pipelined burst of commands costs one write syscall for the whole batch
-// instead of one per response; per-connection scratch buffers are reused
-// across requests, keeping the per-request write path allocation-light.
+// MPUT/MDEL operations — like any same-shard operations queued by concurrent
+// connections — share group commits; an MPUT's keys may span shards, in
+// which case each shard group commits atomically (the batch as a whole is
+// not one transaction).
 package main
 
 import (
@@ -63,7 +66,9 @@ func main() {
 		slots       = flag.Int("slots", 256, "initial slots per shard (power of two)")
 		heapWords   = flag.Int("heap-words", 1<<24, "emulated NVM heap size in 8-byte words")
 		arenaWords  = flag.Int("arena-words", 1<<22, "allocation arena size in words")
-		pool        = flag.Int("pool", 8, "worker thread pool size")
+		pool        = flag.Int("pool", 8, "scheduler workers (engine threads); shards are partitioned across them")
+		drain       = flag.Int("drain", 64, "max operations a worker drains into one group commit")
+		queue       = flag.Int("queue", 1024, "per-worker queue depth (backpressure bound)")
 		persistProb = flag.Float64("persist-prob", 0.5, "probability an unflushed word survives an injected crash")
 	)
 	flag.Parse()
@@ -74,6 +79,8 @@ func main() {
 		HeapWords:   *heapWords,
 		ArenaWords:  *arenaWords,
 		Pool:        *pool,
+		Drain:       *drain,
+		Queue:       *queue,
 		PersistProb: *persistProb,
 	})
 	if err != nil {
@@ -83,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("craftykv: serving on %s (%d shards, pool %d)", l.Addr(), *shards, *pool)
+	log.Printf("craftykv: serving on %s (%d shards, %d workers, drain %d)", l.Addr(), *shards, *pool, *drain)
 	log.Fatal(srv.serve(l))
 }
 
@@ -94,30 +101,48 @@ type config struct {
 	HeapWords   int
 	ArenaWords  int
 	Pool        int
+	Drain       int
+	Queue       int
 	PersistProb float64
 }
 
-// server owns the heap, the engine, the store, and a pool of engine worker
-// threads. Requests take a read lock and borrow a thread; CRASH takes the
-// write lock (draining all in-flight requests, as a power failure freezes
-// the machine between transactions), rebuilds the engine over the surviving
-// heap, and refills the pool.
+// server owns the heap, the engine, the store, and the scheduler: one worker
+// goroutine per pool slot, each bound to its own engine thread. CRASH takes
+// the write lock (waiting out every worker's in-flight batch, as a power
+// failure freezes the machine between transactions), rebuilds the engine
+// over the surviving heap, and re-registers the worker threads; queued
+// operations then drain against the recovered store.
 type server struct {
 	cfg    config
 	heap   *crafty.Heap
 	layout crafty.Layout
 	root   crafty.Addr
 
+	// router maps keys to shards; the mapping depends only on the immutable
+	// shard count, so it is safe to use without the lock across crashes.
+	router *crafty.KV
+
+	workers []*worker
+
 	mu        sync.RWMutex
 	eng       *crafty.Engine
 	store     *crafty.KV
-	threads   chan crafty.Thread
+	threads   []crafty.Thread
 	crashSeed int64
+
+	// syncMu serializes SYNC barriers; see server.sync.
+	syncMu sync.Mutex
 }
 
 func newServer(cfg config) (*server, error) {
 	if cfg.Pool <= 0 {
 		cfg.Pool = 8
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 64
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
 	}
 	heap := crafty.NewHeap(crafty.HeapConfig{
 		Words:            cfg.HeapWords,
@@ -128,71 +153,94 @@ func newServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Validate the pool against the engine's thread capacity up front: the
+	// log directory is sized at engine creation, so a pool that exceeds it
+	// would otherwise only fail at the first over-limit registration.
+	if cfg.Pool > eng.MaxThreads() {
+		return nil, fmt.Errorf("craftykv: -pool %d exceeds the engine's thread capacity %d (Config.MaxThreads)",
+			cfg.Pool, eng.MaxThreads())
+	}
 	s := &server{cfg: cfg, heap: heap, layout: eng.Layout(), eng: eng, crashSeed: 1}
-	s.fillPool()
-	th := <-s.threads
-	store, err := crafty.NewKV(eng, th, crafty.KVConfig{
+	s.registerThreads()
+	store, err := crafty.NewKV(eng, s.threads[0], crafty.KVConfig{
 		Shards:               cfg.Shards,
 		InitialSlotsPerShard: cfg.Slots,
 	})
-	s.threads <- th
 	if err != nil {
 		return nil, err
 	}
 	s.store = store
+	s.router = store
 	s.root = store.Root()
+	// Make the store's creation durable before serving: recovery always
+	// rolls back the newest sequence of the least-advanced thread (its
+	// write-backs may not have completed), so without this quiesce a crash
+	// arriving before any synced traffic could undo the store header
+	// transaction itself and recovery would find no store at the root.
+	if err := syncThread(s.threads[0], s.root); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		w := &worker{srv: s, id: i, queue: make(chan task, cfg.Queue)}
+		s.workers = append(s.workers, w)
+		go w.run()
+	}
 	return s, nil
 }
 
-// fillPool (re)registers worker threads on the current engine until the pool
-// holds cfg.Pool of them. Register reuses the persistent log directory slots
-// across engine incarnations, so repeated crashes do not leak heap space.
-func (s *server) fillPool() {
-	if s.threads == nil {
-		s.threads = make(chan crafty.Thread, s.cfg.Pool)
-	}
-	for len(s.threads) < cap(s.threads) {
-		s.threads <- s.eng.Register()
+// registerThreads (re)registers one engine thread per worker on the current
+// engine. Register reuses the persistent log directory slots across engine
+// incarnations, so repeated crashes do not leak heap space.
+func (s *server) registerThreads() {
+	s.threads = make([]crafty.Thread, s.cfg.Pool)
+	for i := range s.threads {
+		s.threads[i] = s.eng.Register()
 	}
 }
 
-// withThread runs fn with a borrowed worker thread under the read lock.
-func (s *server) withThread(fn func(th crafty.Thread, store *crafty.KV) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	th := <-s.threads
-	defer func() { s.threads <- th }()
-	return fn(th, s.store)
+// syncThread quiesces one engine thread's log, making every transaction it
+// has committed rollback-proof (core.Thread.SyncDurable: a drained empty log
+// sequence — the direct fsync primitive, no transaction and no conflicts
+// with concurrently syncing workers). The marker-transaction fallback covers
+// hypothetical engines without SyncDurable; craftykv always runs the Crafty
+// engine, which has it.
+func syncThread(th crafty.Thread, root crafty.Addr) error {
+	if q, ok := th.(interface{ SyncDurable() error }); ok {
+		return q.SyncDurable()
+	}
+	return th.Atomic(func(tx crafty.Tx) error {
+		tx.Store(root, tx.Load(root))
+		return nil
+	})
 }
 
-// sync quiesces durability: one marker transaction on every pooled thread
-// brings every per-thread log's last sequence up to the present, so recovery
-// after a subsequent crash cannot roll back past this point. It is the
-// emulation's analog of a group fsync.
+// sync is the scheduler barrier: it hands every worker a barrier task, waits
+// for all of them to finish the operations queued ahead of it (the
+// rendezvous), releases them to quiesce their own threads' logs
+// (syncThread), and waits for the quiesces. The two phases matter: recovery
+// rolls back every sequence with ts >= R, where R is the minimum over
+// threads of the newest persisted sequence, so every quiesce timestamp must
+// postdate every covered commit on every worker — otherwise one worker's
+// early marker drags R below another worker's acknowledged write and the
+// next crash undoes it. Operations that arrive behind the barrier just
+// queue as usual and the barrier never waits on them; syncMu keeps two
+// connections' barriers from interleaving their rendezvous (task order can
+// differ per queue, which would deadlock the arrival phase).
 func (s *server) sync() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	// Collect the whole pool before syncing any thread: drawing and
-	// returning threads one at a time could draw the same thread twice while
-	// a concurrent request holds another, leaving that thread's log stale
-	// behind an acknowledged barrier. Holding all threads also means every
-	// operation that completed before this SYNC has its thread quiesced.
-	all := make([]crafty.Thread, cap(s.threads))
-	for i := range all {
-		all[i] = <-s.threads
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	b := &syncBarrier{release: make(chan struct{})}
+	b.arrive.Add(len(s.workers))
+	b.done.Add(len(s.workers))
+	errs := make([]error, len(s.workers))
+	for i, w := range s.workers {
+		w.queue <- task{barrier: b, errSlot: &errs[i]}
 	}
-	defer func() {
-		for _, th := range all {
-			s.threads <- th
-		}
-	}()
-	for _, th := range all {
-		if err := th.Atomic(func(tx crafty.Tx) error {
-			// A self-overwrite of the store's magic word is a real persistent
-			// write (it logs an undo sequence) with no observable effect.
-			tx.Store(s.root, tx.Load(s.root))
-			return nil
-		}); err != nil {
+	b.arrive.Wait()
+	close(b.release)
+	b.done.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
@@ -200,18 +248,12 @@ func (s *server) sync() error {
 }
 
 // crash injects a power failure and runs the full recovery flow, replacing
-// the engine, store, and thread pool.
+// the engine, store, and worker threads.
 func (s *server) crash() (rolledBack int, entries uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// Drop the old engine's threads: they belong to the pre-crash
-	// incarnation.
-	for len(s.threads) > 0 {
-		<-s.threads
-	}
 	s.eng.Close()
-
 	s.crashSeed++
 	s.heap.Crash(crafty.NewRandomCrashPolicy(s.crashSeed, s.cfg.PersistProb))
 	report, err := crafty.Recover(s.heap, s.layout)
@@ -229,13 +271,11 @@ func (s *server) crash() (rolledBack int, entries uint64, err error) {
 	}
 	s.eng = eng
 	s.store = store
-	s.fillPool()
+	s.registerThreads()
 
 	// ReopenKV already verified the whole index; Len is a cheap read-only
 	// transaction over the shard headers.
-	th := <-s.threads
-	entries, err = store.Len(th)
-	s.threads <- th
+	entries, err = store.Len(s.threads[0])
 	if err != nil {
 		return 0, 0, err
 	}
@@ -252,176 +292,202 @@ func (s *server) serve(l net.Listener) error {
 	}
 }
 
-// connState is one connection's reusable output state: the buffered writer
-// and the scratch buffers the read commands decode into, reused across
-// requests so the per-request write path does not allocate a fresh response
-// buffer per command.
-type connState struct {
-	out  *bufio.Writer
-	val  []byte   // GET value destination
-	keys [][]byte // MGET key batch
-	dst  []byte   // MGET value storage
-	vals [][]byte // MGET per-key results (aliasing dst)
+// writeLinef writes one formatted response line.
+func writeLinef(out *bufio.Writer, format string, args ...any) {
+	fmt.Fprintf(out, format+"\n", args...)
 }
 
+// handle runs one connection: the reader parses and submits requests, the
+// writer goroutine renders each request's response as it completes — in
+// request order, flushing once no further completed response is pending, so
+// a pipelined burst costs one write syscall for the whole batch.
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
 	// The reader size is also the request-line bound: ReadSlice fails with
 	// ErrBufferFull once a newline-free line exceeds it, so a misbehaving
 	// client cannot grow one line without limit.
 	in := bufio.NewReaderSize(conn, 1<<20)
-	st := &connState{out: bufio.NewWriter(conn)}
-	defer st.out.Flush()
+	out := bufio.NewWriter(conn)
+	pending := make(chan *request, 128)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for req := range pending {
+			<-req.done
+			render(out, req)
+			if req.notify != nil {
+				close(req.notify)
+			}
+			if len(pending) == 0 {
+				if out.Flush() != nil {
+					// The connection is gone; keep draining so the reader
+					// never blocks on a full pending queue.
+					for req := range pending {
+						<-req.done
+						if req.notify != nil {
+							close(req.notify)
+						}
+						requestPool.Put(req)
+					}
+					return
+				}
+			}
+			requestPool.Put(req)
+		}
+		out.Flush()
+	}()
+
+	c := &connReader{srv: s, pending: pending}
 	for {
 		raw, err := in.ReadSlice('\n')
 		if err == bufio.ErrBufferFull {
-			fmt.Fprintln(st.out, "ERR request line too long")
-			return
+			c.push(inlineRequest("ERR request line too long"))
+			break
 		}
 		line := strings.TrimRight(string(raw), "\r\n")
 		if line != "" {
-			if !s.dispatch(st, line) {
-				return
-			}
-		}
-		// Pipelining: flush only when no further request is already buffered,
-		// so a pipelined burst of commands is answered with one write for the
-		// whole batch instead of one write per response.
-		if in.Buffered() == 0 {
-			if ferr := st.out.Flush(); ferr != nil {
-				return
+			if !c.dispatch(line) {
+				break
 			}
 		}
 		if err != nil {
-			return
+			break
 		}
 	}
+	close(pending)
+	writerWG.Wait()
+}
+
+// connReader is one connection's parse-and-submit state.
+type connReader struct {
+	srv     *server
+	pending chan *request
+}
+
+// push submits a request to the scheduler and appends it to the
+// connection's response queue.
+func (c *connReader) push(req *request) {
+	c.srv.submit(req)
+	c.pending <- req
+}
+
+// waitPrior blocks until every previously submitted request of this
+// connection has completed and rendered, by riding a no-output marker
+// through the response queue: the writer processes requests in order, so
+// reaching the marker means everything before it finished. Commands whose
+// effect or reply must observe the connection's earlier operations across
+// all shards (LEN, STATS, CRASH, QUIT) use it; same-key ordering needs no
+// barrier, since a key's operations share one worker queue.
+func (c *connReader) waitPrior() {
+	marker := inlineRequest("")
+	marker.notify = make(chan struct{})
+	notify := marker.notify
+	close(marker.done) // bypasses submit: complete it here
+	c.pending <- marker
+	<-notify
 }
 
 // dispatch handles one request line; it returns false when the connection
 // should close.
-func (s *server) dispatch(st *connState, line string) bool {
-	out := st.out
+func (c *connReader) dispatch(line string) bool {
+	s := c.srv
 	parts := strings.SplitN(line, " ", 3)
-	cmd := strings.ToUpper(parts[0])
-	reply := func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) }
-	switch cmd {
+	switch strings.ToUpper(parts[0]) {
 	case "PUT":
 		if len(parts) != 3 {
-			reply("ERR usage: PUT <key> <value>")
+			c.push(inlineRequest("ERR usage: PUT <key> <value>"))
 			return true
 		}
-		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
-			return store.Put(th, []byte(parts[1]), []byte(parts[2]))
-		})
-		if err != nil {
-			reply("ERR %v", err)
-			return true
-		}
-		reply("OK")
+		req := newRequest(cmdPut)
+		req.addOp(crafty.KVPut, parts[1], parts[2])
+		c.push(req)
 	case "GET":
 		if len(parts) != 2 {
-			reply("ERR usage: GET <key>")
+			c.push(inlineRequest("ERR usage: GET <key>"))
 			return true
 		}
-		var ok bool
-		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
-			var err error
-			st.val, ok, err = store.Get(th, []byte(parts[1]), st.val[:0])
-			return err
-		})
-		switch {
-		case err != nil:
-			reply("ERR %v", err)
-		case !ok:
-			reply("NIL")
-		default:
-			reply("VAL %s", st.val)
+		req := newRequest(cmdGet)
+		req.addOp(crafty.KVGet, parts[1], "")
+		c.push(req)
+	case "DEL":
+		if len(parts) != 2 {
+			c.push(inlineRequest("ERR usage: DEL <key>"))
+			return true
 		}
+		req := newRequest(cmdDel)
+		req.addOp(crafty.KVDelete, parts[1], "")
+		c.push(req)
 	case "MGET":
-		st.keys = st.keys[:0]
-		for _, k := range strings.Fields(line)[1:] {
-			st.keys = append(st.keys, []byte(k))
-		}
+		keys := strings.Fields(line)[1:]
 		// Validate the parsed key list, not the raw token count: "MGET "
 		// splits into two tokens but carries no keys, and the protocol owes
 		// the client exactly one line per key or an error.
-		if len(st.keys) == 0 {
-			reply("ERR usage: MGET <key> [<key> ...]")
+		if len(keys) == 0 {
+			c.push(inlineRequest("ERR usage: MGET <key> [<key> ...]"))
 			return true
 		}
-		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
-			var err error
-			st.dst, st.vals, err = store.MultiGet(th, st.keys, st.dst[:0], st.vals)
-			return err
-		})
-		if err != nil {
-			reply("ERR %v", err)
+		req := newRequest(cmdMGet)
+		for _, k := range keys {
+			req.addOp(crafty.KVGet, k, "")
+		}
+		c.push(req)
+	case "MPUT":
+		fields := strings.Fields(line)[1:]
+		if len(fields) == 0 || len(fields)%2 != 0 {
+			c.push(inlineRequest("ERR usage: MPUT <key> <value> [<key> <value> ...]"))
 			return true
 		}
-		for _, v := range st.vals {
-			if v == nil {
-				reply("NIL")
-			} else {
-				reply("VAL %s", v)
-			}
+		req := newRequest(cmdMPut)
+		for i := 0; i < len(fields); i += 2 {
+			req.addOp(crafty.KVPut, fields[i], fields[i+1])
 		}
-	case "DEL":
-		if len(parts) != 2 {
-			reply("ERR usage: DEL <key>")
+		c.push(req)
+	case "MDEL":
+		keys := strings.Fields(line)[1:]
+		if len(keys) == 0 {
+			c.push(inlineRequest("ERR usage: MDEL <key> [<key> ...]"))
 			return true
 		}
-		var ok bool
-		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
-			var err error
-			ok, err = store.Delete(th, []byte(parts[1]))
-			return err
-		})
-		switch {
-		case err != nil:
-			reply("ERR %v", err)
-		case !ok:
-			reply("NIL")
-		default:
-			reply("OK")
+		req := newRequest(cmdMDel)
+		for _, k := range keys {
+			req.addOp(crafty.KVDelete, k, "")
 		}
+		c.push(req)
 	case "LEN":
-		var n uint64
-		err := s.withThread(func(th crafty.Thread, store *crafty.KV) error {
-			var err error
-			n, err = store.Len(th)
-			return err
-		})
-		if err != nil {
-			reply("ERR %v", err)
-			return true
-		}
-		reply("LEN %d", n)
+		c.waitPrior()
+		c.push(newRequest(cmdLen))
 	case "STATS":
+		c.waitPrior()
 		s.mu.RLock()
 		ast := s.eng.Arena().Stats()
 		s.mu.RUnlock()
-		reply("STATS live_blocks=%d live_words=%d free_blocks=%d free_words=%d used_words=%d capacity_words=%d leaked_words=%d",
+		c.push(inlineRequest(fmt.Sprintf(
+			"STATS live_blocks=%d live_words=%d free_blocks=%d free_words=%d used_words=%d capacity_words=%d leaked_words=%d",
 			ast.Live, ast.LiveWords, ast.FreeBlocks, ast.FreeWords, ast.UsedWords, ast.DataWords,
-			ast.UsedWords-ast.LiveWords-ast.FreeWords)
+			ast.UsedWords-ast.LiveWords-ast.FreeWords)))
 	case "SYNC":
+		// The barrier covers everything already queued — including this
+		// connection's earlier operations — so no waitPrior is needed.
 		if err := s.sync(); err != nil {
-			reply("ERR %v", err)
+			c.push(inlineRequest(fmt.Sprintf("ERR %v", err)))
 			return true
 		}
-		reply("OK")
+		c.push(inlineRequest("OK"))
 	case "CRASH":
+		c.waitPrior()
 		rolledBack, entries, err := s.crash()
 		if err != nil {
-			reply("ERR %v", err)
+			c.push(inlineRequest(fmt.Sprintf("ERR %v", err)))
 			return true
 		}
-		reply("OK rolled_back=%d entries=%d", rolledBack, entries)
+		c.push(inlineRequest(fmt.Sprintf("OK rolled_back=%d entries=%d", rolledBack, entries)))
 	case "QUIT":
-		reply("BYE")
+		c.waitPrior()
+		c.push(inlineRequest("BYE"))
 		return false
 	default:
-		reply("ERR unknown command %q", cmd)
+		c.push(inlineRequest(fmt.Sprintf("ERR unknown command %q", parts[0])))
 	}
 	return true
 }

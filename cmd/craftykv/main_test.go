@@ -7,19 +7,32 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // startServer brings a small server up on an ephemeral port.
 func startServer(t *testing.T) string {
+	return startServerPersist(t, 0.5)
+}
+
+// startServerPersist is startServer with an explicit probability that an
+// unfenced word survives an injected crash (0 = worst case: everything not
+// properly fenced dies).
+func startServerPersist(t *testing.T, persistProb float64) string {
 	t.Helper()
-	srv, err := newServer(config{
+	return startServerCfg(t, config{
 		Shards:      8,
 		Slots:       64,
 		HeapWords:   1 << 22,
 		ArenaWords:  1 << 20,
 		Pool:        4,
-		PersistProb: 0.5,
+		PersistProb: persistProb,
 	})
+}
+
+func startServerCfg(t *testing.T, cfg config) string {
+	t.Helper()
+	srv, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,6 +43,26 @@ func startServer(t *testing.T) string {
 	t.Cleanup(func() { l.Close() })
 	go srv.serve(l)
 	return l.Addr().String()
+}
+
+// TestPoolValidatedAtStartup checks a pool larger than the engine's thread
+// capacity (Config.MaxThreads, default 64) fails at newServer with a clean
+// error instead of panicking at the first over-limit thread registration.
+func TestPoolValidatedAtStartup(t *testing.T) {
+	_, err := newServer(config{
+		Shards:      8,
+		Slots:       64,
+		HeapWords:   1 << 23,
+		ArenaWords:  1 << 20,
+		Pool:        65,
+		PersistProb: 0.5,
+	})
+	if err == nil {
+		t.Fatal("newServer accepted -pool 65 over a 64-thread engine")
+	}
+	if !strings.Contains(err.Error(), "-pool 65") || !strings.Contains(err.Error(), "64") {
+		t.Fatalf("unhelpful validation error: %v", err)
+	}
 }
 
 // client is a line-oriented test client.
@@ -117,6 +150,126 @@ func TestMGET(t *testing.T) {
 	c.expectLines(t, "VAL one", "NIL", "VAL two", "VAL one")
 	// The connection stays usable for ordinary commands afterwards.
 	c.expect(t, "GET beta", "VAL two")
+}
+
+func TestMPutMDel(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.expect(t, "MPUT", "ERR usage: MPUT <key> <value> [<key> <value> ...]")
+	c.expect(t, "MPUT lonelykey", "ERR usage: MPUT <key> <value> [<key> <value> ...]")
+	c.expect(t, "MPUT a 1 b 2 c 3", "OK 3")
+	if _, err := fmt.Fprintf(c.conn, "MGET a b c nope\n"); err != nil {
+		t.Fatal(err)
+	}
+	c.expectLines(t, "VAL 1", "VAL 2", "VAL 3", "NIL")
+	// MPUT updates in place; later pairs win over earlier ones in the batch.
+	c.expect(t, "MPUT a 10 a 11", "OK 2")
+	c.expect(t, "GET a", "VAL 11")
+	c.expect(t, "MDEL", "ERR usage: MDEL <key> [<key> ...]")
+	if _, err := fmt.Fprintf(c.conn, "MDEL a nope b\n"); err != nil {
+		t.Fatal(err)
+	}
+	c.expectLines(t, "OK", "NIL", "OK")
+	c.expect(t, "GET a", "NIL")
+	c.expect(t, "GET c", "VAL 3")
+	c.expect(t, "LEN", "LEN 1")
+}
+
+// TestManyConnectionsCoalesce drives concurrent writers through the
+// scheduler (many connections' mutations coalescing into group commits) and
+// checks nothing is lost or misrouted.
+func TestManyConnectionsCoalesce(t *testing.T) {
+	addr := startServer(t)
+	const clients = 8
+	const keys = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			// Pipeline every PUT in one burst, then read all responses.
+			var burst strings.Builder
+			for i := 0; i < keys; i++ {
+				fmt.Fprintf(&burst, "PUT c%d-k%d v%d-%d\n", g, i, g, i)
+			}
+			if _, err := conn.Write([]byte(burst.String())); err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < keys; i++ {
+				line, err := r.ReadString('\n')
+				if err != nil || strings.TrimSpace(line) != "OK" {
+					errCh <- fmt.Errorf("client %d put %d: %q %v", g, i, line, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+	c.expect(t, "LEN", fmt.Sprintf("LEN %d", clients*keys))
+	for g := 0; g < clients; g++ {
+		for i := 0; i < keys; i += 7 {
+			c.expect(t, fmt.Sprintf("GET c%d-k%d", g, i), fmt.Sprintf("VAL v%d-%d", g, i))
+		}
+	}
+}
+
+// TestSyncCompletesDuringSlowBatch is the scheduler-barrier regression test:
+// while one connection streams a long pipelined write burst (kept in flight
+// by not reading its responses), SYNC on another connection must complete —
+// the barrier rides the worker queues behind whatever is already enqueued
+// instead of draining a thread pool.
+func TestSyncCompletesDuringSlowBatch(t *testing.T) {
+	addr := startServer(t)
+
+	slow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	const slowOps = 3000
+	go func() {
+		var burst strings.Builder
+		for i := 0; i < slowOps; i++ {
+			fmt.Fprintf(&burst, "PUT slow-%d v%d\n", i, i)
+		}
+		slow.Write([]byte(burst.String()))
+	}()
+
+	c := dial(t, addr)
+	c.expect(t, "PUT mine v", "OK")
+	done := make(chan string, 1)
+	go func() { done <- c.roundTrip(t, "SYNC") }()
+	select {
+	case got := <-done:
+		if got != "OK" {
+			t.Fatalf("SYNC: %q", got)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SYNC did not complete while another connection's batch was in flight")
+	}
+
+	// Drain the slow connection: every write must have been acknowledged.
+	r := bufio.NewReader(slow)
+	for i := 0; i < slowOps; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil || strings.TrimSpace(line) != "OK" {
+			t.Fatalf("slow put %d: %q %v", i, line, err)
+		}
+	}
 }
 
 // TestPipelinedBurst sends a batch of commands in a single write and checks
@@ -247,6 +400,167 @@ func TestSurvivesRestart(t *testing.T) {
 		c.expect(t, fmt.Sprintf("GET stable-%d", i), fmt.Sprintf("VAL value-%d", i))
 		c.expect(t, fmt.Sprintf("GET round2-%d", i), fmt.Sprintf("VAL v2-%d", i))
 	}
+}
+
+// TestBatchAckWaitsForAllOps: a batched request must not complete until
+// every operation's result slot is written. With a single-slot worker queue,
+// submit blocks routing operation k+1 while a worker drains and completes
+// operation k — the interleaving that exposed submit's original incremental
+// remaining count, which let the request's done channel close (and the
+// writer render result slots still being filled) after only a prefix of the
+// batch had run.
+func TestBatchAckWaitsForAllOps(t *testing.T) {
+	addr := startServerCfg(t, config{
+		Shards:      8,
+		Slots:       64,
+		HeapWords:   1 << 22,
+		ArenaWords:  1 << 20,
+		Pool:        2,
+		Queue:       1,
+		PersistProb: 0.5,
+	})
+	c := dial(t, addr)
+	const keys = 48
+	for i := 0; i < keys; i++ {
+		c.expect(t, fmt.Sprintf("PUT ack-%d val-%d", i, i), "OK")
+	}
+	for iter := 0; iter < 20; iter++ {
+		var req strings.Builder
+		req.WriteString("MGET")
+		for i := 0; i < keys; i++ {
+			fmt.Fprintf(&req, " ack-%d", i)
+		}
+		req.WriteByte('\n')
+		if _, err := c.conn.Write([]byte(req.String())); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < keys; i++ {
+			line, err := c.r.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := strings.TrimRight(line, "\r\n"), fmt.Sprintf("VAL val-%d", i); got != want {
+				t.Fatalf("iter %d key %d: got %q, want %q (batch acknowledged before all ops ran?)", iter, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSyncBarrierWorstCaseCrash: SYNC must be a deterministic barrier, not a
+// probabilistic one. With persist-prob 0 every word the barrier left
+// unfenced dies in the crash, so any gap in the quiesce is exposed. The
+// whole round is pipelined in one write — the shape that caught two real
+// bugs here: (1) submit counted remaining incrementally, so a fast worker
+// could acknowledge a batch with operations still being routed; (2) the
+// barrier had no rendezvous, so one worker's quiesce timestamp could
+// predate another worker's still-in-flight covered group, dragging the
+// recovery rollback window (R = min over threads of the newest persisted
+// sequence) below an acknowledged, synced write — the crash then undid it.
+func TestSyncBarrierWorstCaseCrash(t *testing.T) {
+	addr := startServerPersist(t, 0)
+	c := dial(t, addr)
+	for round := 0; round < 3; round++ {
+		// Pipeline per-op puts, a batched MPUT, an MDEL, SYNC, and CRASH in
+		// one burst so the barrier races the scheduler's group commits.
+		var burst strings.Builder
+		for i := 0; i < 8; i++ {
+			fmt.Fprintf(&burst, "PUT solo-%d-%d r%d-%d\n", round, i, round, i)
+		}
+		burst.WriteString("MPUT")
+		for i := 0; i < 16; i++ {
+			fmt.Fprintf(&burst, " batch-%d-%d b%d-%d", round, i, round, i)
+		}
+		burst.WriteByte('\n')
+		fmt.Fprintf(&burst, "MDEL batch-%d-0 batch-%d-1\n", round, round)
+		burst.WriteString("SYNC\nCRASH\n")
+		if _, err := c.conn.Write([]byte(burst.String())); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]string, 0, 12)
+		for i := 0; i < 8; i++ {
+			want = append(want, "OK")
+		}
+		want = append(want, "OK 16", "OK", "OK", "OK")
+		c.expectLines(t, want...)
+		crash, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("round %d CRASH reply: %v", round, err)
+		}
+		if !strings.HasPrefix(crash, "OK ") {
+			t.Fatalf("round %d CRASH: %q", round, crash)
+		}
+		for i := 0; i < 8; i++ {
+			c.expect(t, fmt.Sprintf("GET solo-%d-%d", round, i), fmt.Sprintf("VAL r%d-%d", round, i))
+		}
+		for i := 0; i < 16; i++ {
+			want := fmt.Sprintf("VAL b%d-%d", round, i)
+			if i < 2 {
+				want = "NIL"
+			}
+			c.expect(t, fmt.Sprintf("GET batch-%d-%d", round, i), want)
+		}
+	}
+}
+
+// TestSyncConcurrentWithCrash stresses the barrier's lock discipline: while
+// writers flood the workers, one connection SYNCs in a loop and another
+// CRASHes. A worker that parked at the rendezvous while holding the server's
+// read lock would deadlock here — CRASH's pending write lock blocks the
+// other workers' batch read locks, so they never arrive and the release
+// never comes. The test is a canary: a regression hangs it (go test's
+// timeout fails the run) rather than failing an assertion.
+func TestSyncConcurrentWithCrash(t *testing.T) {
+	addr := startServerCfg(t, config{
+		Shards:      8,
+		Slots:       64,
+		HeapWords:   1 << 22,
+		ArenaWords:  1 << 20,
+		Pool:        4,
+		Queue:       4,
+		PersistProb: 0.5,
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer pressure keeping every worker queue busy
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := fmt.Fprintf(conn, "MPUT w%d a w%d b w%d c w%d d\n", i, i+1, i+2, i+3); err != nil {
+				return
+			}
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	syncer := dial(t, addr)
+	crasher := dial(t, addr)
+	for i := 0; i < 15; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if got := syncer.roundTrip(t, "SYNC"); got != "OK" {
+				t.Errorf("SYNC: %q", got)
+			}
+		}()
+		if reply := crasher.roundTrip(t, "CRASH"); !strings.HasPrefix(reply, "OK ") {
+			t.Fatalf("CRASH: %q", reply)
+		}
+		<-done
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestCrashRollsBackWhole drives unsynced writes into a crash and checks the

@@ -111,6 +111,20 @@ var ErrAborted = ptm.ErrAborted
 // path with no undo logging, so mutating through one is refused outright.
 var ErrReadOnlyTx = ptm.ErrReadOnlyTx
 
+// ErrTxTooLarge is returned (wrapped) by Thread.Atomic when the body's write
+// set exceeds what the engine can represent in one transaction; nothing is
+// published and the thread remains usable. Size batches with TxWriteBudgetOf
+// so it never fires in steady state.
+var ErrTxTooLarge = ptm.ErrTxTooLarge
+
+// TxWriteBudgetOf returns the engine's per-transaction write budget hint
+// (how many persistent writes one Atomic body should perform at most), or
+// fallback for engines that do not expose one. Batching layers — KV.Apply,
+// the craftykv scheduler — split their groups at this budget.
+func TxWriteBudgetOf(eng ptm.Engine, fallback int) int {
+	return ptm.TxWriteBudgetOf(eng, fallback)
+}
+
 // Config configures a Crafty engine; the zero value provides full ACID
 // (thread-safe) transactions with the paper's default parameters.
 type Config = core.Config

@@ -49,13 +49,10 @@ func (t *Thread) ensureLogSpace() {
 }
 
 // makeRoom wraps the circular log after a Log phase ran out of entry slots.
-// startSlot is where that Log phase began appending; if it began at slot 0
-// and still ran out, the transaction simply does not fit in the configured
-// log and no amount of wrapping will help.
-func (t *Thread) makeRoom(startSlot int) {
-	if startSlot == 0 {
-		panic("core: transaction requires more undo log entries than Config.LogEntries; increase the log size")
-	}
+// The caller (Thread.Atomic) has already established that the transaction did
+// not begin at slot 0 — a transaction that overflows a freshly wrapped log
+// fails with ptm.ErrTxTooLarge instead, since no amount of wrapping helps.
+func (t *Thread) makeRoom() {
 	t.checkOverwrite(0)
 	t.log.wrap(true)
 }
@@ -134,6 +131,53 @@ func (t *Thread) forceDelinquents(needAbove uint64) {
 		if u.forceEmpty(t.flusher, ts) {
 			u.lastCommittedTS.Store(ts)
 		}
+	}
+}
+
+// SyncDurable makes every transaction previously committed on this thread
+// rollback-proof against the next crash — the engine's analog of fsync.
+//
+// flushCommit leaves a committed transaction's write-backs (its data lines
+// and its COMMITTED entry) issued but unfenced; the thread's next hardware
+// transaction commit fences them, so under continuous traffic only the most
+// recent sequence is ever at risk. SyncDurable closes that window on demand:
+// it re-flushes the data writes of the log's most recent sequence, then
+// appends an empty ⟨LOGGED, now⟩ sequence and drains it (forceEmpty on the
+// thread itself). The drained marker is deterministically durable, so after
+// a crash this thread's newest fully persisted sequence is at least as new
+// as the marker, and recovery's rollback window — every sequence with
+// ts >= R, R the minimum over threads of the newest persisted timestamp —
+// can reach no committed data on this thread.
+//
+// A marker transaction (a self-overwrite of some root word) can stand in —
+// its Log-phase entry flushes are fenced by its own Redo-phase commit, so
+// the thread's newest persisted sequence still advances — but the guarantee
+// is indirect (it leans on the fencing side-effects of the transaction's own
+// later hardware commits, and on the rollback of the possibly-uncommitted
+// marker being a harmless self-overwrite) and it pays the full two-phase
+// toll, conflicting with every concurrently syncing thread. SyncDurable is
+// the direct primitive: no transaction, no conflicts, one drained marker.
+//
+// The guarantee is per-thread and relative to recovery's global window:
+// recovery rolls back every sequence with ts >= R even if committed and
+// durable (the global-consistent-prefix rule), so a caller quiescing several
+// threads must make sure every commit it wants covered — on every thread —
+// happens before the first quiesce timestamp is drawn. craftykv's SYNC
+// rendezvouses all scheduler workers before any of them calls SyncDurable
+// for exactly this reason.
+func (t *Thread) SyncDurable() error {
+	for {
+		ts := t.eng.hw.TimestampNow()
+		if t.forceEmpty(t.flusher, ts) {
+			t.lastCommittedTS.Store(ts)
+			return nil
+		}
+		// forceEmpty declines only when the log is full and its first half
+		// may still be needed by recovery (the thread itself is idle here, so
+		// it is never "currently appending"). Raise the bound exactly the way
+		// the mutating path does, then retry.
+		t.checkOverwrite(0)
+		runtime.Gosched()
 	}
 }
 

@@ -382,6 +382,41 @@ func (e *Engine) Stats() ptm.Stats {
 // configured.
 func (e *Engine) Arena() *alloc.Arena { return e.arena }
 
+// MaxThreads returns how many worker threads the engine can register (the
+// size of its persistent log directory). Callers that provision thread pools
+// up front (cmd/craftykv) validate against it instead of discovering
+// exhaustion at the first failing Register.
+func (e *Engine) MaxThreads() int { return e.cfg.MaxThreads }
+
+// TxWriteBudget implements ptm.WriteBudgeter: the number of persistent writes
+// a single transaction can perform while provably staying on the HTM fast
+// path and within its circular undo log.
+//
+// Two resources bound it. The Log phase's hardware transaction dirties, worst
+// case, one cache line per data write plus the (consecutive) undo log words —
+// two per write plus a two-word marker — so K writes cost at most
+// K + (2K+9)/8 write lines, which must leave slack under the HTM write
+// capacity. And the chunked SGL fallback refuses transactions whose undo
+// entries could exceed half the circular log even at chunk size one (two
+// entries per write; see chunkedExecute), so the budget also stays under a
+// quarter of Config.LogEntries. Batching layers (kv.Store.Apply) split their
+// groups at this budget, which keeps every group's commit a single Log-phase
+// HTM transaction and keeps the Section 5.2 log-reuse machinery able to wrap
+// between — never inside — groups.
+func (e *Engine) TxWriteBudget() int {
+	maxLines := e.hw.Config().MaxWriteLines
+	htmBudget := (8*maxLines - 17) / 10
+	logBudget := e.cfg.LogEntries/4 - 2
+	budget := htmBudget
+	if logBudget < budget {
+		budget = logBudget
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // Close implements ptm.Engine.
 func (e *Engine) Close() error {
 	e.mu.Lock()

@@ -478,6 +478,50 @@ func TestAllocationsSurviveValidateReplayUnderContention(t *testing.T) {
 	}
 }
 
+// TestTxTooLargeTyped drives a transaction that overflows a small undo log on
+// both capacity paths — the Log phase running out of slots at a freshly
+// wrapped log, and the chunked SGL section refusing more entries than half
+// the log — and checks the failure is the typed ptm.ErrTxTooLarge (previously
+// a panic), publishes nothing, and leaves the thread usable.
+func TestTxTooLargeTyped(t *testing.T) {
+	eng, heap := testEngine(t, 1<<18, Config{LogEntries: 64})
+	data := heap.MustCarve(256)
+	th := eng.Register()
+	err := th.Atomic(func(tx ptm.Tx) error {
+		for w := 0; w < 200; w++ {
+			tx.Store(data+nvm.Addr(w), 5)
+		}
+		return nil
+	})
+	if !errors.Is(err, ptm.ErrTxTooLarge) {
+		t.Fatalf("oversized transaction: %v, want ErrTxTooLarge", err)
+	}
+	if errors.Is(err, ptm.ErrAborted) {
+		t.Fatalf("capacity failure must not masquerade as a body abort: %v", err)
+	}
+	for w := 0; w < 200; w++ {
+		if got := heap.Load(data + nvm.Addr(w)); got != 0 {
+			t.Fatalf("word %d = %d published by rejected transaction", w, got)
+		}
+	}
+	// Budget-sized transactions keep committing on the same thread.
+	budget := eng.TxWriteBudget()
+	if budget < 1 || budget > 64/4 {
+		t.Fatalf("TxWriteBudget() = %d, want within the 64-entry log's quarter", budget)
+	}
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		for w := 0; w < budget; w++ {
+			tx.Store(data+nvm.Addr(w), uint64(w)+1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := heap.Load(data); got != 1 {
+		t.Fatalf("post-rejection commit lost: %d", got)
+	}
+}
+
 func TestRegisterExhaustsDirectory(t *testing.T) {
 	eng, _ := testEngine(t, 1<<18, Config{LogEntries: 64, MaxThreads: 2})
 	if _, err := eng.RegisterThread(); err != nil {

@@ -184,6 +184,66 @@ func TestRecoverRollsBackUncommittedSequence(t *testing.T) {
 	}
 }
 
+// TestSyncDurableSurvivesWorstCaseCrash: transactions committed before
+// SyncDurable survive a crash that loses every unfenced word (persist
+// probability 0) — the deterministic guarantee behind craftykv's SYNC. The
+// drained empty marker is what recovery sees as each thread's newest
+// persisted sequence, so the rollback window R (min over threads) stays
+// above every synced commit and the rolled-back markers restore nothing.
+func TestSyncDurableSurvivesWorstCaseCrash(t *testing.T) {
+	eng, heap := testEngine(t, 1<<18, Config{LogEntries: 256})
+	const threads, txns = 3, 4
+	data := heap.MustCarve(threads * txns)
+	ths := make([]*Thread, threads)
+	for i := range ths {
+		th, err := eng.RegisterThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ths[i] = th
+	}
+	// Interleave commits across threads, then barrier every thread — the
+	// rollback window R is the minimum over threads of the newest persisted
+	// sequence, so the sync markers must postdate all data on all threads
+	// (exactly how craftykv's SYNC barriers every worker at one point).
+	for j := 0; j < txns; j++ {
+		for i, th := range ths {
+			addr := data + nvm.Addr(i*txns+j)
+			want := uint64(100*i + j)
+			if err := th.Atomic(func(tx ptm.Tx) error {
+				tx.Store(addr, want)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, th := range ths {
+		if err := th.SyncDurable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	heap.Crash(nvm.NewRandomPolicy(3, 0))
+	report, err := Recover(heap, eng.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the drained empty markers may sit inside the rollback window; no
+	// committed data may be restored.
+	if report.WordsRestored != 0 {
+		t.Fatalf("recovery restored %d words over synced data: %+v", report.WordsRestored, report)
+	}
+	for i := 0; i < threads; i++ {
+		for j := 0; j < txns; j++ {
+			addr := data + nvm.Addr(i*txns+j)
+			if got, want := heap.Load(addr), uint64(100*i+j); got != want {
+				t.Fatalf("thread %d txn %d: synced write lost: got %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
 // persistWord force-persists a single word so test setup state survives
 // crashes.
 func persistWord(heap *nvm.Heap, addr nvm.Addr) {

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"crafty/internal/htm"
 	"crafty/internal/nvm"
 	"crafty/internal/ptm"
@@ -78,6 +81,12 @@ func (t *Thread) runSGL(body func(tx ptm.Tx) error, lockHeld bool) error {
 
 	writes, commitTS, err := t.chunkedExecute(body)
 	if err != nil {
+		if errors.Is(err, ptm.ErrTxTooLarge) {
+			if t.txAlloc != nil {
+				t.txAlloc.Abort()
+			}
+			return err
+		}
 		return t.abandon(err)
 	}
 
@@ -108,6 +117,12 @@ func (t *Thread) atomicThreadUnsafe(body func(tx ptm.Tx) error) error {
 	}
 	writes, commitTS, err := t.chunkedExecute(body)
 	if err != nil {
+		if errors.Is(err, ptm.ErrTxTooLarge) {
+			if t.txAlloc != nil {
+				t.txAlloc.Abort()
+			}
+			return err
+		}
 		return t.abandon(err)
 	}
 	if t.txAlloc != nil {
@@ -132,6 +147,17 @@ func (t *Thread) chunkedExecute(body func(tx ptm.Tx) error) (writes int, commitT
 		return 0, 0, err
 	}
 	ops := ctx.ops
+	// Refuse sections whose undo entries could exceed half the circular log
+	// even at the chunked path's guaranteed-progress floor (chunk size one:
+	// two log entries per write). A section bounded by half the log wraps at
+	// most once, so the Section 5.2 overwrite check it runs at that wrap
+	// compares against a timestamp from an earlier section — never against
+	// the section's own timestamp, which could never pass (tsLowerBound is a
+	// minimum over per-thread last timestamps, including this thread's).
+	if 2*len(ops)+2 > t.log.capEntries/2 {
+		return 0, 0, fmt.Errorf("core: %d-write transaction exceeds the %d-entry undo log: %w",
+			len(ops), t.log.capEntries, ptm.ErrTxTooLarge)
+	}
 	// The section's single timestamp is drawn from the same clock that
 	// stamps hardware transaction commits, after the lock is held, so it
 	// orders after every previously committed transaction.

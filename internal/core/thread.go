@@ -230,7 +230,13 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 			// leak arena blocks nor observe fresh addresses.
 			t.prepareRetry()
 			if a.logFull {
-				t.makeRoom(a.startSlot)
+				if a.startSlot == 0 {
+					// The Log phase began at a freshly wrapped log and still
+					// ran out of slots: the transaction alone cannot fit, so
+					// wrapping again would not help.
+					return t.failTooLarge(len(t.undo))
+				}
+				t.makeRoom()
 				continue
 			}
 			if a.sglBusy {
@@ -436,6 +442,17 @@ func (t *Thread) readSGL(body func(tx ptm.Tx) error) error {
 	}
 	t.outcomes[ptm.OutcomeSGL]++
 	return nil
+}
+
+// failTooLarge abandons a transaction whose write set cannot fit the
+// engine's per-transaction capacity, releasing any allocations the attempts
+// made. The returned error wraps ptm.ErrTxTooLarge; no write was published.
+func (t *Thread) failTooLarge(writes int) error {
+	if t.txAlloc != nil {
+		t.txAlloc.Abort()
+	}
+	return fmt.Errorf("core: %d-write transaction exceeds the %d-entry undo log: %w",
+		writes, t.log.capEntries, ptm.ErrTxTooLarge)
 }
 
 // abandon discards the transaction after the body returned an error.

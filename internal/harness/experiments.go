@@ -91,6 +91,26 @@ func ycsbFactory(mix ycsb.Mix, uniform bool) WorkloadFactory {
 	}
 }
 
+// ycsbBatchFactory builds a YCSB A/B factory routing operations through the
+// store's group-execution path in batches of the given size (1 = per-op).
+// The driver models one craftykv scheduler worker, which owns
+// shards/workers of the index (8 with the server defaults), so the store
+// uses 8 shards — a batch then spans few groups, as a worker's drained
+// queue does; the per-op (batch 1) baseline uses the same geometry so the
+// comparison isolates group execution.
+func ycsbBatchFactory(mix ycsb.Mix, batch int) WorkloadFactory {
+	label := fmt.Sprintf("ycsb/%s", mix)
+	if batch > 1 {
+		label = fmt.Sprintf("%s-batch%d", label, batch)
+	}
+	return WorkloadFactory{
+		Label: label,
+		New: func(threads int) workloads.Workload {
+			return ycsb.New(ycsb.Config{Mix: mix, Records: 8192, Shards: 8, Threads: threads, Batch: batch})
+		},
+	}
+}
+
 // Figures returns the full set of throughput experiments keyed by the paper's
 // figure numbers, plus the durable key-value experiments ("kv", "kvfull")
 // added on top of the paper's grid. Figures 22–24 are the 100 ns latency
@@ -135,6 +155,19 @@ func Figures() map[string]Figure {
 				ycsbFactory(ycsb.A, false),
 				ycsbFactory(ycsb.B, false),
 				ycsbFactory(ycsb.C, false),
+			},
+			Engines: KVEngines,
+			Threads: DefaultThreads,
+			Latency: 300 * time.Nanosecond,
+		},
+		"batch": {
+			ID:    "batch",
+			Title: "Batch: group-execution write path — YCSB A/B per-op vs batched through Store.Apply (300 ns)",
+			Workloads: []WorkloadFactory{
+				ycsbBatchFactory(ycsb.A, 1),
+				ycsbBatchFactory(ycsb.A, 16),
+				ycsbBatchFactory(ycsb.A, 64),
+				ycsbBatchFactory(ycsb.B, 16),
 			},
 			Engines: KVEngines,
 			Threads: DefaultThreads,

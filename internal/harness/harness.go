@@ -223,6 +223,13 @@ func Run(kind EngineKind, wl workloads.Workload, opts Options) (Result, error) {
 	}
 
 	ops := opts.Threads * opts.OpsPerThread
+	// Batched workloads perform several logical operations per Run call;
+	// scale the accounting so per-op and batched throughputs compare.
+	if m, ok := wl.(interface{ OpsPerRun() int }); ok {
+		if n := m.OpsPerRun(); n > 1 {
+			ops *= n
+		}
+	}
 	stats := eng.Stats()
 	stats.Sub(setupStats) // report only the measured phase, not setup
 	return Result{

@@ -1,0 +1,113 @@
+package kv_test
+
+// The group-execution acceptance benchmarks: a YCSB-A-style update mix
+// (zipfian theta 0.99 key choice over the loaded records, fixed-size values)
+// driven per-op through Store.Put versus batched through Store.Apply. The
+// external test package lets the benchmark reuse the YCSB driver's zipfian
+// generator without an import cycle.
+//
+// The batched runs model one craftykv scheduler worker: the scheduler routes
+// operations to workers by shard, so the batch a worker drains from its queue
+// lands in the worker's own shards' groups. BenchmarkBatchApply16 uses a
+// single-shard store (one queue's traffic, one group per batch);
+// BenchmarkBatchApply16Sharded spreads the same batch over a 4-shard store
+// (about four ops per group).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crafty/internal/core"
+	"crafty/internal/kv"
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+	"crafty/internal/workloads/ycsb"
+)
+
+const (
+	batchRecords = 1024
+	batchValue   = "value-0123456789abcdefghijklmnop" // 32 bytes, fixed schema
+)
+
+func batchBenchStore(b *testing.B, shards int) (*kv.Store, ptm.Thread) {
+	b.Helper()
+	heap := nvm.NewHeap(nvm.Config{Words: 1 << 22, PersistLatency: nvm.NoLatency, TrackPersistence: true})
+	eng, err := core.NewEngine(heap, core.Config{ArenaWords: 1 << 21, LogEntries: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := eng.Register()
+	s, err := kv.Create(eng, th, kv.Config{Shards: shards, InitialSlotsPerShard: 4096 / shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < batchRecords; i++ {
+		if err := s.Put(th, fmt.Appendf(nil, "user%d", i), []byte(batchValue)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, th
+}
+
+// zipfKeys pre-renders a long zipfian key sequence so key choice costs
+// nothing inside the measured loop.
+func zipfKeys(n int) [][]byte {
+	z := ycsb.NewZipf(batchRecords, ycsb.ZipfTheta)
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Appendf(nil, "user%d", z.Next(rng))
+	}
+	return keys
+}
+
+// BenchmarkBatchPerOpPut is the per-op baseline: one durable transaction per
+// update.
+func BenchmarkBatchPerOpPut(b *testing.B) {
+	s, th := batchBenchStore(b, 1)
+	keys := zipfKeys(4096)
+	val := []byte(batchValue)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(th, keys[i%len(keys)], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/update")
+}
+
+func benchBatchApply(b *testing.B, shards, batch int) {
+	s, th := batchBenchStore(b, shards)
+	keys := zipfKeys(4096)
+	val := []byte(batchValue)
+	ops := make([]kv.Op, batch)
+	var res []kv.OpResult
+	var dst []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			ops[j] = kv.Op{Kind: kv.OpPut, Key: keys[(i*batch+j)%len(keys)], Value: val}
+		}
+		var err error
+		res, dst, err = s.Apply(th, ops, res, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/update")
+}
+
+// BenchmarkBatchApply16 is the acceptance configuration: batch 16 through one
+// scheduler queue (single-shard store, one group commit per batch).
+func BenchmarkBatchApply16(b *testing.B) { benchBatchApply(b, 1, 16) }
+
+// BenchmarkBatchApply64 is the same at batch 64.
+func BenchmarkBatchApply64(b *testing.B) { benchBatchApply(b, 1, 64) }
+
+// BenchmarkBatchApply16Sharded spreads batch 16 over a 4-shard store (about
+// four updates per group commit).
+func BenchmarkBatchApply16Sharded(b *testing.B) { benchBatchApply(b, 4, 16) }

@@ -343,6 +343,170 @@ func TestCrashRecoveryLeakFreeCycles(t *testing.T) {
 	eng.Close()
 }
 
+// TestCrashMidApplyLandsOnWholeGroups is the group-execution crash proof: a
+// sequence of Apply batches runs with every batch's operations partitioned
+// into per-shard groups in a fixed order, a RandomPolicy crash is injected,
+// and recovery must land on a prefix of whole groups — every group's keys at
+// one uniform batch version (all-or-nothing: a group is one transaction),
+// with the fully-applied groups forming a prefix of the global group
+// execution order — plus the standing zero-leak arena guarantee.
+func TestCrashMidApplyLandsOnWholeGroups(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			heap := nvm.NewHeap(nvm.Config{
+				Words:            1 << 22,
+				PersistLatency:   nvm.NoLatency,
+				TrackPersistence: true,
+			})
+			cfg := core.Config{ArenaWords: 1 << 20}
+			eng, err := core.NewEngine(heap, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layout := eng.Layout()
+			th := eng.Register()
+			// Sized so the fixed key set never rehashes: every batch group
+			// must be exactly one transaction (no per-op fallback).
+			s, err := Create(eng, th, Config{Shards: 4, InitialSlotsPerShard: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Partition a fixed key set by shard; the groups execute in
+			// bucket order within every batch.
+			const keys = 32
+			buckets := make([][]string, s.Shards())
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("gkey-%02d", k)
+				sh := s.ShardOf([]byte(key))
+				buckets[sh] = append(buckets[sh], key)
+			}
+			var groupOrder []int // shards with keys, in execution order
+			for sh, b := range buckets {
+				if len(b) > 0 {
+					groupOrder = append(groupOrder, sh)
+				}
+			}
+			val := func(batch int) string { return fmt.Sprintf("batch-%03d-value", batch) }
+
+			// Load version 0, then run batches 1..B through Apply.
+			for _, sh := range groupOrder {
+				for _, key := range buckets[sh] {
+					if err := s.Put(th, []byte(key), []byte(val(0))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			const batches = 10
+			var ops []Op
+			var res []OpResult
+			for b := 1; b <= batches; b++ {
+				ops = ops[:0]
+				for _, sh := range groupOrder {
+					for _, key := range buckets[sh] {
+						ops = append(ops, Op{Kind: OpPut, Key: []byte(key), Value: []byte(val(b))})
+					}
+				}
+				var err error
+				res, _, err = s.Apply(th, ops, res, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range res {
+					if res[i].Err != nil {
+						t.Fatalf("batch %d op %d: %v", b, i, res[i].Err)
+					}
+				}
+			}
+
+			root := s.Root()
+			heap.Crash(nvm.NewRandomPolicy(seed, 0.5))
+			report, err := core.Recover(heap, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng2, err := core.Open(heap, layout, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng2.Close()
+			eng2.AdvanceClock(report.MaxTimestamp)
+			s2, err := Reopen(eng2, root)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			checkArenaAccounting(t, eng2)
+
+			// Whole groups: every key of a group at the same version.
+			th2 := eng2.Register()
+			version := make([]int, len(groupOrder))
+			for gi, sh := range groupOrder {
+				groupVersion := -1
+				for _, key := range buckets[sh] {
+					v, ok, err := s2.Get(th2, []byte(key), nil)
+					if err != nil || !ok {
+						t.Fatalf("key %s lost: ok=%v err=%v", key, ok, err)
+					}
+					var got int
+					if _, err := fmt.Sscanf(string(v), "batch-%03d-value", &got); err != nil {
+						t.Fatalf("key %s torn: %q", key, v)
+					}
+					if groupVersion == -1 {
+						groupVersion = got
+					} else if got != groupVersion {
+						t.Fatalf("group %d (shard %d) half-applied: key %s at batch %d, group at batch %d",
+							gi, sh, key, got, groupVersion)
+					}
+				}
+				version[gi] = groupVersion
+			}
+
+			// Prefix of whole groups: in execution order, versions are
+			// non-increasing and span at most one batch boundary — the
+			// applied group transactions are exactly a prefix of the global
+			// (batch-major) group sequence.
+			vmax, vmin := version[0], version[0]
+			for gi := 1; gi < len(version); gi++ {
+				if version[gi] > version[gi-1] {
+					t.Fatalf("group versions %v not a prefix: group %d newer than group %d", version, gi, gi-1)
+				}
+				if version[gi] > vmax {
+					vmax = version[gi]
+				}
+				if version[gi] < vmin {
+					vmin = version[gi]
+				}
+			}
+			if vmax-vmin > 1 {
+				t.Fatalf("group versions %v span more than one batch: rollback was not a suffix", version)
+			}
+			t.Logf("seed %d: %d sequences rolled back; group versions %v", seed, report.SequencesRolledBack, version)
+
+			// The reopened store keeps serving batched writes.
+			ops = ops[:0]
+			for _, sh := range groupOrder {
+				for _, key := range buckets[sh] {
+					ops = append(ops, Op{Kind: OpPut, Key: []byte(key), Value: []byte(val(batches + 1))})
+				}
+			}
+			res, _, err = s2.Apply(th2, ops, res, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range res {
+				if res[i].Err != nil {
+					t.Fatalf("post-crash batch op %d: %v", i, res[i].Err)
+				}
+			}
+			if _, err := s2.Verify(heap); err != nil {
+				t.Fatal(err)
+			}
+			checkArenaAccounting(t, eng2)
+		})
+	}
+}
+
 // TestCrashAfterDeleteBurst crashes immediately after a burst of deletes so
 // the adversary can catch frees mid-flight: free-list header flips may have
 // persisted for transactions recovery rolls back, and committed deletes'

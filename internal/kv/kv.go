@@ -24,6 +24,7 @@
 package kv
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"crafty/internal/alloc"
@@ -121,12 +122,18 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Store is a durable key-value store over one engine's heap. The volatile
-// struct only caches immutable facts (the root address and shard count); all
-// mutable state is persistent, so a Store can be re-materialized from its
-// root address after a crash with Reopen.
+// struct only caches immutable facts (the root address, the shard count, and
+// the engine's per-transaction write budget); all mutable state is
+// persistent, so a Store can be re-materialized from its root address after a
+// crash with Reopen.
 type Store struct {
 	root   nvm.Addr
 	shards int
+
+	// txBudget is the engine's per-transaction write budget
+	// (ptm.WriteBudgeter), captured at Create/Reopen; Apply splits its shard
+	// groups so no group transaction's estimated writes exceed it.
+	txBudget int
 }
 
 // arenaOf returns eng's allocation arena if the engine exposes one (every
@@ -162,7 +169,7 @@ func Create(eng ptm.Engine, th ptm.Thread, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kv: carving root region: %w", err)
 	}
-	s := &Store{root: root, shards: cfg.Shards}
+	s := &Store{root: root, shards: cfg.Shards, txBudget: ptm.TxWriteBudgetOf(eng, defaultTxBudget)}
 	for sh := 0; sh < cfg.Shards; sh++ {
 		hdr := s.shardHeader(sh)
 		if err := th.Atomic(func(tx ptm.Tx) error {
@@ -211,7 +218,7 @@ func Reopen(eng ptm.Engine, root nvm.Addr) (*Store, error) {
 	if got := heap.Load(root + offVersion); got != version {
 		return nil, fmt.Errorf("kv: store version %d, want %d", heap.Load(root+offVersion), version)
 	}
-	s := &Store{root: root, shards: int(heap.Load(root + offShards))}
+	s := &Store{root: root, shards: int(heap.Load(root + offShards)), txBudget: ptm.TxWriteBudgetOf(eng, defaultTxBudget)}
 	if s.shards < 1 || s.shards&(s.shards-1) != 0 {
 		return nil, fmt.Errorf("kv: corrupt shard count %d", s.shards)
 	}
@@ -242,6 +249,15 @@ func (s *Store) Root() nvm.Addr { return s.root }
 
 // Shards returns the number of index shards.
 func (s *Store) Shards() int { return s.shards }
+
+// ShardOf returns the index shard key hashes to. Request schedulers use it to
+// route operations so same-shard traffic shares a queue — and therefore a
+// group commit — without reimplementing the store's hash.
+func (s *Store) ShardOf(key []byte) int { return s.shardOf(hashKey(key)) }
+
+// TxBudget returns the per-transaction write budget Apply splits its groups
+// by (the engine's ptm.WriteBudgeter hint, captured at Create/Reopen).
+func (s *Store) TxBudget() int { return s.txBudget }
 
 func (s *Store) shardHeader(sh int) nvm.Addr {
 	return s.root + nvm.WordsPerLine + nvm.Addr(sh*shardHeaderWords)
@@ -298,11 +314,17 @@ func unpackHeader(w uint64) (keyLen, valLen int) {
 }
 
 // storeBytes writes b into consecutive words at base, eight bytes per word,
-// little endian, zero padding the final word.
+// little endian, zero padding the final word. Full words are assembled with
+// a single unaligned load instead of a byte loop — the byte shuffling runs
+// once per word of every value written, so it is hot.
 func storeBytes(tx ptm.Tx, base nvm.Addr, b []byte) {
-	for w := 0; w*8 < len(b); w++ {
+	w := 0
+	for ; (w+1)*8 <= len(b); w++ {
+		tx.Store(base+nvm.Addr(w), binary.LittleEndian.Uint64(b[w*8:]))
+	}
+	if w*8 < len(b) {
 		var v uint64
-		for i := 0; i < 8 && w*8+i < len(b); i++ {
+		for i := 0; w*8+i < len(b); i++ {
 			v |= uint64(b[w*8+i]) << (8 * i)
 		}
 		tx.Store(base+nvm.Addr(w), v)
@@ -311,9 +333,13 @@ func storeBytes(tx ptm.Tx, base nvm.Addr, b []byte) {
 
 // appendBytes appends n bytes stored at base to dst and returns it.
 func appendBytes(tx ptm.Tx, base nvm.Addr, n int, dst []byte) []byte {
-	for w := 0; w*8 < n; w++ {
+	w := 0
+	for ; (w+1)*8 <= n; w++ {
+		dst = binary.LittleEndian.AppendUint64(dst, tx.Load(base+nvm.Addr(w)))
+	}
+	if w*8 < n {
 		v := tx.Load(base + nvm.Addr(w))
-		for i := 0; i < 8 && w*8+i < n; i++ {
+		for i := 0; w*8+i < n; i++ {
 			dst = append(dst, byte(v>>(8*i)))
 		}
 	}
@@ -323,9 +349,15 @@ func appendBytes(tx ptm.Tx, base nvm.Addr, n int, dst []byte) []byte {
 // bytesEqual reports whether the n bytes at base equal b, comparing word by
 // word without allocating.
 func bytesEqual(tx ptm.Tx, base nvm.Addr, b []byte) bool {
-	for w := 0; w*8 < len(b); w++ {
+	w := 0
+	for ; (w+1)*8 <= len(b); w++ {
+		if tx.Load(base+nvm.Addr(w)) != binary.LittleEndian.Uint64(b[w*8:]) {
+			return false
+		}
+	}
+	if w*8 < len(b) {
 		var want uint64
-		for i := 0; i < 8 && w*8+i < len(b); i++ {
+		for i := 0; w*8+i < len(b); i++ {
 			want |= uint64(b[w*8+i]) << (8 * i)
 		}
 		if tx.Load(base+nvm.Addr(w)) != want {
@@ -407,18 +439,51 @@ func (s *Store) GetTx(tx ptm.Tx, key []byte, dst []byte) ([]byte, bool) {
 // exactly once); inserts claim a slot and bump the shard's counters. Each
 // call also advances the shard's incremental rehash by one bounded batch.
 func (s *Store) PutTx(tx ptm.Tx, key, value []byte) error {
+	if err := validatePut(key, value); err != nil {
+		return err
+	}
+	h := hashKey(key)
+	hdr := s.shardHeader(s.shardOf(h))
+	s.stepRehash(tx, hdr)
+	return s.putSlot(tx, hdr, h, key, value)
+}
+
+// validatePut enforces the header-packing limits shared by the per-op
+// (PutTx) and group-execution (Apply) write paths: key length must fit the
+// 16-bit header field and value length the 32-bit one.
+func validatePut(key, value []byte) error {
 	if len(key) == 0 {
 		return fmt.Errorf("kv: empty key")
 	}
 	if len(key) >= 1<<16 || len(value) >= 1<<32 {
 		return fmt.Errorf("kv: key (%d) or value (%d) too large", len(key), len(value))
 	}
-	h := hashKey(key)
-	hdr := s.shardHeader(s.shardOf(h))
-	s.stepRehash(tx, hdr)
+	return nil
+}
 
+// putSlot is the shard-local insert-or-update: PutTx after validation and the
+// rehash step, shared with the group-execution path (Apply), whose batched
+// transactions keep rehash stepping on the per-op path instead.
+func (s *Store) putSlot(tx ptm.Tx, hdr nvm.Addr, h uint64, key, value []byte) error {
 	if slot := s.find(tx, hdr, h, key); slot != nvm.NilAddr {
 		old := nvm.Addr(tx.Load(slot + 1))
+		keyLen, oldValLen := unpackHeader(tx.Load(old))
+		if blockWords(keyLen, oldValLen) == blockWords(keyLen, len(value)) {
+			// In-place update: the new value occupies exactly the old one's
+			// words, so the slot, the key bytes, and the allocator are left
+			// untouched — only the value words (and the header, if the byte
+			// length changed within the same final word) are rewritten.
+			// Failure atomicity is the transaction's as always: the undo log
+			// restores the old value words if the transaction rolls back,
+			// and Verify sees an identical block footprint. This is the
+			// common case for fixed-schema workloads (YCSB values) and what
+			// makes steady-state updates allocator-free.
+			if oldValLen != len(value) {
+				tx.Store(old, packHeader(keyLen, len(value)))
+			}
+			storeBytes(tx, old+1+nvm.Addr((keyLen+7)/8), value)
+			return nil
+		}
 		tx.Store(slot+1, uint64(writeBlock(tx, key, value)))
 		tx.Free(old)
 		return nil
@@ -453,6 +518,12 @@ func (s *Store) DeleteTx(tx ptm.Tx, key []byte) bool {
 	h := hashKey(key)
 	hdr := s.shardHeader(s.shardOf(h))
 	s.stepRehash(tx, hdr)
+	return s.deleteSlot(tx, hdr, h, key)
+}
+
+// deleteSlot is the shard-local delete: DeleteTx after the rehash step,
+// shared with the group-execution path (Apply).
+func (s *Store) deleteSlot(tx ptm.Tx, hdr nvm.Addr, h uint64, key []byte) bool {
 	slot := s.find(tx, hdr, h, key)
 	if slot == nvm.NilAddr {
 		return false

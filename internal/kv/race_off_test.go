@@ -1,0 +1,7 @@
+//go:build !race
+
+package kv
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// allocation-count guards skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -81,6 +81,19 @@ func (e *Engine) Arena() *alloc.Arena { return e.arena }
 // HTM exposes the underlying emulated HTM engine.
 func (e *Engine) HTM() *htm.Engine { return e.hw }
 
+// TxWriteBudget implements ptm.WriteBudgeter: the engine logs nothing, so the
+// only per-transaction bound is the hardware write capacity (worst case one
+// dirtied cache line per write, with two lines of slack for the lock words).
+// Larger transactions still commit through the single-global-lock fallback —
+// the budget is the hint for staying on the HTM fast path.
+func (e *Engine) TxWriteBudget() int {
+	budget := e.hw.Config().MaxWriteLines - 2
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // Close implements ptm.Engine.
 func (e *Engine) Close() error { return nil }
 

@@ -157,6 +157,22 @@ func (e *Engine) Arena() *alloc.Arena { return e.arena }
 // HTM exposes the underlying emulated HTM engine.
 func (e *Engine) HTM() *htm.Engine { return e.hw }
 
+// TxWriteBudget implements ptm.WriteBudgeter: the transaction body runs
+// in-place inside a hardware transaction (worst case one dirtied cache line
+// per write, with two lines of slack for the lock words), and its redo
+// records — two words per write plus a two-word commit marker — must fit the
+// per-thread log region whole.
+func (e *Engine) TxWriteBudget() int {
+	budget := e.hw.Config().MaxWriteLines - 2
+	if logBudget := (e.cfg.LogWords - 2) / 2; logBudget < budget {
+		budget = logBudget
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // Close stops the background checkpointer.
 func (e *Engine) Close() error {
 	if e.closed.CompareAndSwap(false, true) {

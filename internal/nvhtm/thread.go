@@ -28,6 +28,11 @@ type Thread struct {
 	writeAddrs []nvm.Addr
 	writeVals  []uint64
 
+	// tooLarge is raised by the Tx adapters when one transaction's redo
+	// records could no longer fit the log region; the orchestration turns it
+	// into ptm.ErrTxTooLarge before anything is persisted or published.
+	tooLarge bool
+
 	// ro is the reusable read-only adapter handed to AtomicRead bodies.
 	ro ptm.ROTx
 
@@ -60,6 +65,12 @@ type tx struct {
 func (x *tx) Load(addr nvm.Addr) uint64 { return x.hwtx.Load(addr) }
 
 func (x *tx) Store(addr nvm.Addr, val uint64) {
+	if (len(x.th.writeAddrs)+1)*2+2 > x.th.logCap {
+		// The transaction's redo records can no longer fit the log region;
+		// abort the hardware transaction before any of its writes publish.
+		x.th.tooLarge = true
+		x.hwtx.Abort()
+	}
 	x.hwtx.Store(addr, val)
 	x.th.writeAddrs = append(x.th.writeAddrs, addr)
 	x.th.writeVals = append(x.th.writeVals, val)
@@ -87,6 +98,7 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 	for attempt := 0; attempt <= t.eng.cfg.MaxRetries; attempt++ {
 		t.writeAddrs = t.writeAddrs[:0]
 		t.writeVals = t.writeVals[:0]
+		t.tooLarge = false
 		var userErr error
 		var commitTS uint64
 		cause := t.hw.Run(func(hwtx *htm.Tx) {
@@ -116,6 +128,9 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		})
 		if userErr != nil {
 			return t.abandon(userErr)
+		}
+		if t.tooLarge {
+			return t.failTooLarge()
 		}
 		if cause != htm.CauseNone {
 			if t.txAlloc != nil {
@@ -241,9 +256,14 @@ func (t *Thread) runSGL(body func(tx ptm.Tx) error) error {
 	}
 	t.writeAddrs = t.writeAddrs[:0]
 	t.writeVals = t.writeVals[:0]
+	t.tooLarge = false
 	x := &sglTx{th: t, buf: make(map[nvm.Addr]uint64, 8)}
 	if err := body(x); err != nil {
 		return t.abandon(err)
+	}
+	if t.tooLarge {
+		// Nothing was published: sglTx buffers every write until here.
+		return t.failTooLarge()
 	}
 	// Publish the buffered writes now that the body has succeeded.
 	for i, addr := range t.writeAddrs {
@@ -282,6 +302,13 @@ func (x *sglTx) Load(addr nvm.Addr) uint64 {
 }
 
 func (x *sglTx) Store(addr nvm.Addr, val uint64) {
+	if x.th.tooLarge {
+		return
+	}
+	if (len(x.th.writeAddrs)+1)*2+2 > x.th.logCap {
+		x.th.tooLarge = true
+		return
+	}
 	x.buf[addr] = val
 	x.th.writeAddrs = append(x.th.writeAddrs, addr)
 	x.th.writeVals = append(x.th.writeVals, val)
@@ -307,4 +334,15 @@ func (t *Thread) abandon(err error) error {
 	}
 	t.userAborts++
 	return fmt.Errorf("%w: %w", ptm.ErrAborted, err)
+}
+
+// failTooLarge abandons a transaction whose redo records cannot fit the log
+// region; nothing was persisted or published.
+func (t *Thread) failTooLarge() error {
+	t.tooLarge = false
+	if t.txAlloc != nil {
+		t.txAlloc.Abort()
+	}
+	return fmt.Errorf("%s: transaction exceeds the %d-word redo log: %w",
+		t.eng.cfg.Name, t.logCap, ptm.ErrTxTooLarge)
 }

@@ -60,6 +60,17 @@ var ErrAborted = errors.New("ptm: transaction aborted by body")
 // heap and the engine's logs are exactly as if the call never happened.
 var ErrReadOnlyTx = errors.New("ptm: Store/Alloc/Free called in read-only transaction")
 
+// ErrTxTooLarge is returned (wrapped) by Thread.Atomic when the body's write
+// set exceeds what the engine can represent in a single transaction — for the
+// logging engines, a persistent log too small to hold every entry of one
+// transaction; for Crafty, a write set that cannot fit the circular undo log
+// even after wrapping it. The transaction is abandoned whole: no write is
+// published and the thread remains usable. Callers that batch independent
+// operations into one transaction (kv.Store.Apply, the craftykv scheduler)
+// should size their batches with TxWriteBudgetOf so this error never fires in
+// steady state.
+var ErrTxTooLarge = errors.New("ptm: transaction write set exceeds the engine's per-transaction capacity")
+
 // Thread is one worker's handle onto an engine. Threads are not safe for
 // concurrent use; each worker goroutine registers its own.
 type Thread interface {
@@ -107,6 +118,31 @@ type Engine interface {
 	// Close releases engine resources (background threads, ...). The engine
 	// must not be used after Close.
 	Close() error
+}
+
+// WriteBudgeter is implemented by engines that can bound how many persistent
+// word writes a single transaction may safely perform. The budget is the
+// engine's worst-case guarantee: a body performing at most this many writes
+// (wherever they land) commits without tripping ErrTxTooLarge and without
+// exceeding the emulated HTM's write capacity on the engine's fast path, so
+// batching layers can split work into budget-sized groups up front instead of
+// reacting to capacity failures. Every engine in this repository implements
+// it.
+type WriteBudgeter interface {
+	// TxWriteBudget returns the maximum number of persistent writes a single
+	// Atomic body should perform; always positive.
+	TxWriteBudget() int
+}
+
+// TxWriteBudgetOf returns eng's per-transaction write budget, or fallback if
+// the engine does not expose one.
+func TxWriteBudgetOf(eng Engine, fallback int) int {
+	if b, ok := eng.(WriteBudgeter); ok {
+		if n := b.TxWriteBudget(); n > 0 {
+			return n
+		}
+	}
+	return fallback
 }
 
 // Recoverer is implemented by engines that support post-crash recovery of

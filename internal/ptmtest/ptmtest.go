@@ -34,6 +34,8 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("AtomicReadRejectsMutation", func(t *testing.T) { testAtomicReadRejectsMutation(t, factory) })
 	t.Run("AtomicReadAbort", func(t *testing.T) { testAtomicReadAbort(t, factory) })
 	t.Run("AtomicReadSnapshotIsolation", func(t *testing.T) { testAtomicReadSnapshotIsolation(t, factory) })
+	t.Run("WriteBudgetHonored", func(t *testing.T) { testWriteBudget(t, factory) })
+	t.Run("OversizedTxRejectedTyped", func(t *testing.T) { testOversizedTx(t, factory) })
 }
 
 func newHeap(t *testing.T) *nvm.Heap {
@@ -404,6 +406,95 @@ func testAtomicReadSnapshotIsolation(t *testing.T, factory Factory) {
 	}
 	if got := heap.Load(x); got != heap.Load(y) {
 		t.Fatalf("final state torn: x=%d y=%d", got, heap.Load(y))
+	}
+}
+
+// testWriteBudget checks that every engine advertises a positive
+// per-transaction write budget and that a transaction performing exactly that
+// many writes commits — the contract batching layers (kv.Store.Apply, the
+// craftykv scheduler) size their groups against.
+func testWriteBudget(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	b, ok := eng.(ptm.WriteBudgeter)
+	if !ok {
+		t.Fatalf("engine %s does not implement ptm.WriteBudgeter", eng.Name())
+	}
+	budget := b.TxWriteBudget()
+	if budget < 1 {
+		t.Fatalf("TxWriteBudget() = %d, want >= 1", budget)
+	}
+	// Cap the exercised size so engines with log-bound budgets (tens of
+	// thousands of writes) keep the suite fast; the full budget still holds
+	// by the engines' capacity arithmetic.
+	writes := budget
+	if writes > 4096 {
+		writes = 4096
+	}
+	data := heap.MustCarve(writes)
+	th := eng.Register()
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		for w := 0; w < writes; w++ {
+			tx.Store(data+nvm.Addr(w), uint64(w)+1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("budget-sized transaction (%d of %d writes): %v", writes, budget, err)
+	}
+	for w := 0; w < writes; w++ {
+		if got := heap.Load(data + nvm.Addr(w)); got != uint64(w)+1 {
+			t.Fatalf("word %d = %d after budget-sized commit", w, got)
+		}
+	}
+}
+
+// testOversizedTx drives a transaction far past the advertised budget: the
+// engine must either commit it whole (engines with a fallback path that
+// handles any size) or reject it with ptm.ErrTxTooLarge — and in the
+// rejecting case publish none of its writes and remain fully usable.
+func testOversizedTx(t *testing.T, factory Factory) {
+	eng, heap := build(t, factory)
+	b, ok := eng.(ptm.WriteBudgeter)
+	if !ok {
+		t.Fatalf("engine %s does not implement ptm.WriteBudgeter", eng.Name())
+	}
+	writes := 4 * b.TxWriteBudget()
+	if writes > 200_000 {
+		writes = 200_000
+	}
+	data := heap.MustCarve(writes)
+	th := eng.Register()
+	err := th.Atomic(func(tx ptm.Tx) error {
+		for w := 0; w < writes; w++ {
+			tx.Store(data+nvm.Addr(w), 7)
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		for w := 0; w < writes; w += 1 + writes/16 {
+			if got := heap.Load(data + nvm.Addr(w)); got != 7 {
+				t.Fatalf("word %d = %d after oversized commit", w, got)
+			}
+		}
+	case errors.Is(err, ptm.ErrTxTooLarge):
+		// All-or-nothing: a typed rejection must publish none of the writes.
+		for w := 0; w < writes; w += 1 + writes/64 {
+			if got := heap.Load(data + nvm.Addr(w)); got != 0 {
+				t.Fatalf("word %d = %d after rejected oversized transaction", w, got)
+			}
+		}
+	default:
+		t.Fatalf("oversized transaction: %v, want success or ErrTxTooLarge", err)
+	}
+	// The thread must remain usable either way.
+	if err := th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(data, 99)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := heap.Load(data); got != 99 {
+		t.Fatalf("post-oversized write = %d, want 99", got)
 	}
 }
 

@@ -77,6 +77,18 @@ func (e *Engine) Heap() *nvm.Heap { return e.heap }
 // configured.
 func (e *Engine) Arena() *alloc.Arena { return e.arena }
 
+// TxWriteBudget implements ptm.WriteBudgeter: one transaction's redo records
+// (two words per distinct written address) plus its commit marker must fit
+// the per-thread log region whole — the log is persisted in one piece at
+// commit.
+func (e *Engine) TxWriteBudget() int {
+	budget := (e.cfg.LogWords - 2) / 2
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // Close implements ptm.Engine.
 func (e *Engine) Close() error { return nil }
 
@@ -141,7 +153,8 @@ func (t *Thread) Stats() ptm.Stats {
 
 // tx implements ptm.Tx with buffered writes and read-through-buffer loads.
 type tx struct {
-	th *Thread
+	th       *Thread
+	tooLarge bool
 }
 
 func (x *tx) Load(addr nvm.Addr) uint64 {
@@ -152,7 +165,18 @@ func (x *tx) Load(addr nvm.Addr) uint64 {
 }
 
 func (x *tx) Store(addr nvm.Addr, val uint64) {
+	if x.tooLarge {
+		return
+	}
 	if _, ok := x.th.buffer[addr]; !ok {
+		// The transaction's records plus the commit marker must fit the log
+		// region whole; past that point the transaction is doomed to fail
+		// with ptm.ErrTxTooLarge (nothing was applied in place yet), so stop
+		// buffering.
+		if (len(x.th.order)+1)*2+2 > x.th.logCap {
+			x.tooLarge = true
+			return
+		}
 		x.th.order = append(x.th.order, addr)
 	}
 	x.th.buffer[addr] = val
@@ -182,12 +206,19 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 	clear(t.buffer)
 	t.order = t.order[:0]
 
-	if err := body(&tx{th: t}); err != nil {
+	x := &tx{th: t}
+	if err := body(x); err != nil {
 		if t.txAlloc != nil {
 			t.txAlloc.Abort()
 		}
 		t.userAborts++
 		return fmt.Errorf("%w: %w", ptm.ErrAborted, err)
+	}
+	if x.tooLarge {
+		if t.txAlloc != nil {
+			t.txAlloc.Abort()
+		}
+		return fmt.Errorf("redolog: transaction exceeds the %d-word log: %w", t.logCap, ptm.ErrTxTooLarge)
 	}
 
 	// Persist the redo log (one drain for the whole transaction), append the

@@ -78,6 +78,18 @@ func (e *Engine) Heap() *nvm.Heap { return e.heap }
 // configured.
 func (e *Engine) Arena() *alloc.Arena { return e.arena }
 
+// TxWriteBudget implements ptm.WriteBudgeter: one transaction's undo entries
+// (two words per write) plus its commit marker must fit the per-thread log
+// region, which otherwise wraps mid-transaction and could no longer represent
+// the transaction for recovery.
+func (e *Engine) TxWriteBudget() int {
+	budget := (e.cfg.LogWords - 2) / 2
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // Close implements ptm.Engine.
 func (e *Engine) Close() error { return nil }
 
@@ -139,15 +151,24 @@ func (t *Thread) Stats() ptm.Stats {
 // tx implements ptm.Tx with in-place writes preceded by persisted undo
 // entries.
 type tx struct {
-	th      *Thread
-	undo    []nvm.Addr // written-to addresses, for rollback on user abort
-	oldVals []uint64
+	th       *Thread
+	undo     []nvm.Addr // written-to addresses, for rollback on user abort
+	oldVals  []uint64
+	tooLarge bool
 }
 
 func (x *tx) Load(addr nvm.Addr) uint64 { return x.th.eng.heap.Load(addr) }
 
 func (x *tx) Store(addr nvm.Addr, val uint64) {
 	t := x.th
+	// A single transaction's entries plus its commit marker must fit the log
+	// region whole; once they cannot, the transaction is doomed to fail with
+	// ptm.ErrTxTooLarge, so stop logging and writing (the writes performed so
+	// far roll back when the body finishes).
+	if x.tooLarge || (len(x.undo)+1)*2+2 > t.logCap {
+		x.tooLarge = true
+		return
+	}
 	// Append ⟨addr, oldValue⟩ to the persistent undo log and persist it
 	// before performing the in-place write (Figure 1(b)): one full NVM
 	// round trip per persistent write.
@@ -190,7 +211,8 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		t.txAlloc.Begin()
 	}
 	x := &tx{th: t}
-	if err := body(x); err != nil {
+	err := body(x)
+	if err != nil || x.tooLarge {
 		// Roll the in-place writes back using the volatile copy of the undo
 		// entries, exactly as a crash recovery would from the persistent log.
 		for i := len(x.undo) - 1; i >= 0; i-- {
@@ -200,6 +222,9 @@ func (t *Thread) Atomic(body func(tx ptm.Tx) error) error {
 		t.flusher.Drain()
 		if t.txAlloc != nil {
 			t.txAlloc.Abort()
+		}
+		if err == nil {
+			return fmt.Errorf("undolog: transaction exceeds the %d-word log: %w", t.logCap, ptm.ErrTxTooLarge)
 		}
 		t.userAborts++
 		return fmt.Errorf("%w: %w", ptm.ErrAborted, err)

@@ -1,9 +1,11 @@
 package ycsb
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"crafty/internal/core"
 	"crafty/internal/nondurable"
 	"crafty/internal/nvm"
 )
@@ -80,6 +82,48 @@ func TestMixes(t *testing.T) {
 		t.Run("ycsb-"+mix.String(), func(t *testing.T) { runMix(t, mix, false) })
 	}
 	t.Run("ycsb-a-uniform", func(t *testing.T) { runMix(t, A, true) })
+}
+
+// TestBatchedMixes drives the group-execution form of the A/B mixes (updates
+// and reads routed through Store.Apply in batches) over both the non-durable
+// engine and Crafty, and checks the index still verifies.
+func TestBatchedMixes(t *testing.T) {
+	for _, mix := range []Mix{A, B} {
+		for _, batch := range []int{4, 16} {
+			mix, batch := mix, batch
+			t.Run(fmt.Sprintf("ycsb-%s-batch%d", mix, batch), func(t *testing.T) {
+				cfg := Config{Mix: mix, Records: 512, ValueBytes: 64, Shards: 8, Threads: 2, Batch: batch}
+				w := New(cfg)
+				if got := w.OpsPerRun(); got != batch {
+					t.Fatalf("OpsPerRun() = %d, want %d", got, batch)
+				}
+				req := w.Requirements()
+				heap := nvm.NewHeap(nvm.Config{Words: req.HeapWords + 1<<18, PersistLatency: nvm.NoLatency})
+				eng, err := core.NewEngine(heap, core.Config{ArenaWords: req.ArenaWords})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+				th := eng.Register()
+				if err := w.Setup(eng, th); err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(11))
+				for i := 0; i < 400; i++ {
+					if err := w.Run(0, th, rng); err != nil {
+						t.Fatalf("batch round %d: %v", i, err)
+					}
+				}
+				if err := w.Check(heap); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+	// Batch is ignored for mixes without a batched form.
+	if w := New(Config{Mix: C, Batch: 16}); w.OpsPerRun() != 1 {
+		t.Fatalf("mix C OpsPerRun() = %d, want 1", w.OpsPerRun())
+	}
 }
 
 func TestInsertMixGrowsIndex(t *testing.T) {

@@ -28,6 +28,27 @@ func NewKV(eng ptm.Engine, th Thread, cfg KVConfig) (*KV, error) {
 	return kv.Create(eng, th, cfg)
 }
 
+// KVOp is one operation of a KV batch (see KV.Apply).
+type KVOp = kv.Op
+
+// KVOpResult is the outcome of one KV batch operation.
+type KVOpResult = kv.OpResult
+
+// KVOpKind selects what a batch operation does.
+type KVOpKind = kv.OpKind
+
+// The KV batch operation kinds.
+const (
+	KVGet    = kv.OpGet
+	KVPut    = kv.OpPut
+	KVDelete = kv.OpDelete
+)
+
+// ErrKVGroupAborted marks a batch operation that failed only because another
+// operation failed its group's transaction (group execution is per-group
+// all-or-nothing).
+var ErrKVGroupAborted = kv.ErrGroupAborted
+
 // ReopenKV re-materializes a store from its root address after a crash. Call
 // it after the engine-level recovery flow (Recover, then Reopen, then
 // AdvanceClock); it verifies the whole index, then reconciles the engine's
