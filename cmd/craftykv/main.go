@@ -38,7 +38,15 @@
 //	                                             worker quiesces its log, so
 //	                                             prior writes survive the
 //	                                             next crash)
+//	CHECKPOINT                 -> OK seq=<n> epoch=<n> dirty_shards=<n> ...
+//	                              (incremental checkpoint: verifies the
+//	                              shards dirtied since the last one and
+//	                              persists a watermark bounding the next
+//	                              recovery; also runs on a cadence under
+//	                              -checkpoint)
 //	CRASH                      -> OK rolled_back=<n> entries=<n>
+//	                              verified_shards=<n> shards=<n>
+//	                              full_verify=<bool>
 //	QUIT                       -> BYE
 //
 // MPUT/MDEL operations — like any same-shard operations queued by concurrent
@@ -55,6 +63,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"crafty"
 )
@@ -70,6 +80,8 @@ func main() {
 		drain       = flag.Int("drain", 64, "max operations a worker drains into one group commit")
 		queue       = flag.Int("queue", 1024, "per-worker queue depth (backpressure bound)")
 		persistProb = flag.Float64("persist-prob", 0.5, "probability an unflushed word survives an injected crash")
+		checkpoint  = flag.Duration("checkpoint", 0, "incremental checkpoint cadence (0 disables; each pass bounds the next recovery to the shards dirtied after it)")
+		paranoid    = flag.Bool("paranoid", false, "recover with the full index verify + arena reconcile even when a checkpoint watermark would bound it")
 	)
 	flag.Parse()
 
@@ -82,9 +94,13 @@ func main() {
 		Drain:       *drain,
 		Queue:       *queue,
 		PersistProb: *persistProb,
+		Paranoid:    *paranoid,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *checkpoint > 0 {
+		srv.startCheckpointer(*checkpoint, make(chan struct{}))
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,6 +120,9 @@ type config struct {
 	Drain       int
 	Queue       int
 	PersistProb float64
+	// Paranoid forces every CRASH recovery onto the full verify + reconcile
+	// path even when a checkpoint watermark would bound it.
+	Paranoid bool
 }
 
 // server owns the heap, the engine, the store, and the scheduler: one worker
@@ -132,6 +151,11 @@ type server struct {
 
 	// syncMu serializes SYNC barriers; see server.sync.
 	syncMu sync.Mutex
+
+	// recovering gates new connections while a CRASH holds the write lock:
+	// they get an immediate, explicit error instead of hanging behind the
+	// recovery.
+	recovering atomic.Bool
 }
 
 func newServer(cfg config) (*server, error) {
@@ -227,59 +251,145 @@ func syncThread(th crafty.Thread, root crafty.Addr) error {
 // connections' barriers from interleaving their rendezvous (task order can
 // differ per queue, which would deadlock the arrival phase).
 func (s *server) sync() error {
+	return s.syncWith(nil)
+}
+
+// syncWith is the barrier with an optional hook run at the fully quiesced
+// point: every worker has synced its log and none has resumed, so no
+// transaction is in flight and nothing committed can roll back — the
+// precondition KV.Checkpoint documents. The hook is skipped (and its error
+// slot left nil) if any quiesce failed, since a watermark over an unsynced
+// state would be unsound.
+func (s *server) syncWith(hook func() error) error {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
 	b := &syncBarrier{release: make(chan struct{})}
 	b.arrive.Add(len(s.workers))
 	b.done.Add(len(s.workers))
+	if hook != nil {
+		b.resume = make(chan struct{})
+		b.quiesced.Add(len(s.workers))
+	}
 	errs := make([]error, len(s.workers))
 	for i, w := range s.workers {
 		w.queue <- task{barrier: b, errSlot: &errs[i]}
 	}
 	b.arrive.Wait()
 	close(b.release)
+	var hookErr error
+	if hook != nil {
+		b.quiesced.Wait()
+		ok := true
+		for _, err := range errs {
+			if err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hookErr = hook()
+		}
+		close(b.resume)
+	}
 	b.done.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return hookErr
+}
+
+// checkpoint runs one incremental checkpoint under the barrier's quiesced
+// window: verify the shards dirtied since the last checkpoint, coalesce the
+// arena, persist the watermark, advance the epoch. The next CRASH's reopen
+// then verifies only what was dirtied after this point.
+func (s *server) checkpoint() (crafty.KVCheckpointReport, error) {
+	var rep crafty.KVCheckpointReport
+	err := s.syncWith(func() error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var err error
+		rep, err = s.store.Checkpoint(s.eng)
+		return err
+	})
+	return rep, err
+}
+
+// startCheckpointer runs checkpoints on a fixed cadence until stop closes.
+// Each pass costs one SYNC barrier plus work proportional to the shards
+// dirtied since the previous pass.
+func (s *server) startCheckpointer(interval time.Duration, stop chan struct{}) {
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				rep, err := s.checkpoint()
+				if err != nil {
+					log.Printf("craftykv: checkpoint: %v", err)
+					continue
+				}
+				log.Printf("craftykv: checkpoint seq=%d epoch=%d dirty_shards=%d coalesced=%d",
+					rep.Seq, rep.Epoch, rep.DirtyShards, rep.Coalesced)
+			}
+		}
+	}()
 }
 
 // crash injects a power failure and runs the full recovery flow, replacing
-// the engine, store, and worker threads.
-func (s *server) crash() (rolledBack int, entries uint64, err error) {
+// the engine, store, and worker threads. While it runs, s.recovering gates
+// new connections (they get a clear "recovering" error instead of queueing
+// behind the write lock), and each recovery phase's wall time is logged.
+func (s *server) crash() (rolledBack int, entries uint64, rep crafty.KVReopenReport, err error) {
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	s.eng.Close()
 	s.crashSeed++
 	s.heap.Crash(crafty.NewRandomCrashPolicy(s.crashSeed, s.cfg.PersistProb))
+	start := time.Now()
 	report, err := crafty.Recover(s.heap, s.layout)
 	if err != nil {
-		return 0, 0, fmt.Errorf("recover: %w", err)
+		return 0, 0, rep, fmt.Errorf("recover: %w", err)
 	}
+	rollbackTime := time.Since(start)
+	start = time.Now()
 	eng, err := crafty.Reopen(s.heap, s.layout, crafty.Config{ArenaWords: s.cfg.ArenaWords})
 	if err != nil {
-		return 0, 0, fmt.Errorf("reopen engine: %w", err)
+		return 0, 0, rep, fmt.Errorf("reopen engine: %w", err)
 	}
 	eng.AdvanceClock(report.MaxTimestamp)
-	store, err := crafty.ReopenKV(eng, s.root)
+	engineTime := time.Since(start)
+	start = time.Now()
+	store, rep, err := crafty.ReopenKVWith(eng, s.root, crafty.KVReopenOptions{Paranoid: s.cfg.Paranoid})
 	if err != nil {
-		return 0, 0, fmt.Errorf("reopen kv (index verification): %w", err)
+		return 0, 0, rep, fmt.Errorf("reopen kv (index verification): %w", err)
 	}
+	indexTime := time.Since(start)
+	path := "bounded"
+	if rep.FullVerify {
+		path = "full (" + rep.FallbackReason + ")"
+	}
+	log.Printf("craftykv: recovery: rollback %v (%d sequences), engine reopen %v, index %v (%s, %d/%d shards verified)",
+		rollbackTime, report.SequencesRolledBack, engineTime, indexTime, path, rep.VerifiedShards, rep.Shards)
 	s.eng = eng
 	s.store = store
 	s.registerThreads()
 
-	// ReopenKV already verified the whole index; Len is a cheap read-only
-	// transaction over the shard headers.
+	// The reopen already verified the index (all of it, or the dirty shards
+	// against the watermark); Len is a cheap read-only transaction over the
+	// shard headers.
 	entries, err = store.Len(s.threads[0])
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, rep, err
 	}
-	return report.SequencesRolledBack, entries, nil
+	return report.SequencesRolledBack, entries, rep, nil
 }
 
 func (s *server) serve(l net.Listener) error {
@@ -287,6 +397,17 @@ func (s *server) serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
+		}
+		// A connection arriving mid-recovery gets a clear error instead of
+		// hanging behind the crash handler's write lock. Established
+		// connections keep their queued work; it drains against the
+		// recovered store.
+		if s.recovering.Load() {
+			go func(conn net.Conn) {
+				fmt.Fprintf(conn, "ERR recovering, retry shortly\n")
+				conn.Close()
+			}(conn)
+			continue
 		}
 		go s.handle(conn)
 	}
@@ -474,14 +595,24 @@ func (c *connReader) dispatch(line string) bool {
 			return true
 		}
 		c.push(inlineRequest("OK"))
-	case "CRASH":
-		c.waitPrior()
-		rolledBack, entries, err := s.crash()
+	case "CHECKPOINT":
+		// Like SYNC, the barrier covers everything already queued.
+		rep, err := s.checkpoint()
 		if err != nil {
 			c.push(inlineRequest(fmt.Sprintf("ERR %v", err)))
 			return true
 		}
-		c.push(inlineRequest(fmt.Sprintf("OK rolled_back=%d entries=%d", rolledBack, entries)))
+		c.push(inlineRequest(fmt.Sprintf("OK seq=%d epoch=%d dirty_shards=%d entries=%d coalesced=%d",
+			rep.Seq, rep.Epoch, rep.DirtyShards, rep.Entries, rep.Coalesced)))
+	case "CRASH":
+		c.waitPrior()
+		rolledBack, entries, rep, err := s.crash()
+		if err != nil {
+			c.push(inlineRequest(fmt.Sprintf("ERR %v", err)))
+			return true
+		}
+		c.push(inlineRequest(fmt.Sprintf("OK rolled_back=%d entries=%d verified_shards=%d shards=%d full_verify=%t",
+			rolledBack, entries, rep.VerifiedShards, rep.Shards, rep.FullVerify)))
 	case "QUIT":
 		c.waitPrior()
 		c.push(inlineRequest("BYE"))

@@ -148,6 +148,14 @@ type syncBarrier struct {
 	arrive  sync.WaitGroup
 	release chan struct{} // closed once every worker has arrived
 	done    sync.WaitGroup
+
+	// Checkpoint rendezvous (nil resume = plain SYNC): after quiescing, each
+	// worker parks again until resume closes, giving server.syncWith a window
+	// where every log is synced and no transaction can start — the only
+	// moment a checkpoint's verified watermark is sound to write (and free-
+	// block coalescing is safe).
+	quiesced sync.WaitGroup
+	resume   chan struct{}
 }
 
 // worker owns one engine thread (indexed by id into server.threads) and one
@@ -256,6 +264,19 @@ func (w *worker) run() {
 				store = w.srv.store
 				if err := syncThread(th, w.srv.root); err != nil && t.errSlot != nil {
 					*t.errSlot = err
+				}
+				if t.barrier.resume != nil {
+					// Checkpoint rendezvous: park — again without the server
+					// lock, for the same CRASH-deadlock reason — until the
+					// barrier's hook has run at the fully quiesced point,
+					// then refresh th/store once more (a concurrent CRASH may
+					// have replaced the engine while this worker was parked).
+					w.srv.mu.RUnlock()
+					t.barrier.quiesced.Done()
+					<-t.barrier.resume
+					w.srv.mu.RLock()
+					th = w.srv.threads[w.id]
+					store = w.srv.store
 				}
 				t.barrier.done.Done()
 			case t.op < 0:

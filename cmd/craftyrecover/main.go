@@ -8,15 +8,18 @@
 //   - bank (default): a multi-threaded transfer workload over a fixed set of
 //     accounts; consistency means the total balance is conserved.
 //   - kv: a single durable key-value store churned with puts and deletes, so
-//     arena blocks are allocated and freed constantly; after the crash the
-//     engine recovery is followed by kv.Reopen, which verifies the index and
-//     reconciles the allocator — the report shows the arena occupancy (live,
-//     free, high-water) and that no words leaked.
+//     arena blocks are allocated and freed constantly; mid-churn it takes an
+//     incremental checkpoint (unless -checkpoint=false), and after the crash
+//     the engine recovery is followed by the bounded kv reopen — the report
+//     shows each recovery phase's wall time, how many shards the watermark
+//     let it skip, the arena occupancy (live, free, high-water), and that no
+//     words leaked. -paranoid forces the full verify + reconcile path.
 //
 // Usage:
 //
 //	craftyrecover -threads 4 -ops 2000 -persist-prob 0.5
-//	craftyrecover -workload kv -ops 2000 -persist-prob 0.5
+//	craftyrecover -workload kv -ops 2000 -persist-prob 0.5 -seed 7
+//	craftyrecover -workload kv -paranoid
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
 	"crafty"
 )
@@ -36,6 +40,8 @@ func main() {
 		ops         = flag.Int("ops", 2000, "operations per thread before the crash")
 		persistProb = flag.Float64("persist-prob", 0.5, "probability that an unflushed write survives the crash")
 		seed        = flag.Int64("seed", 1, "random seed")
+		checkpoint  = flag.Bool("checkpoint", true, "take an incremental checkpoint mid-churn (kv workload)")
+		paranoid    = flag.Bool("paranoid", false, "recover with the full index verify + arena reconcile even when a checkpoint watermark would bound it (kv workload)")
 	)
 	flag.Parse()
 	var err error
@@ -43,7 +49,7 @@ func main() {
 	case "bank":
 		err = runBank(*threads, *ops, *persistProb, *seed)
 	case "kv":
-		err = runKV(*ops, *persistProb, *seed)
+		err = runKV(*ops, *persistProb, *seed, *checkpoint, *paranoid)
 	default:
 		err = fmt.Errorf("unknown -workload %q (want bank or kv)", *workload)
 	}
@@ -123,12 +129,13 @@ func runBank(threads, ops int, persistProb float64, seed int64) error {
 	fmt.Printf("injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
 	heap.Crash(crafty.NewRandomCrashPolicy(seed, persistProb))
 
+	start := time.Now()
 	report, err := crafty.Recover(heap, layout)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words)\n",
-		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored)
+	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words) in %v\n",
+		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored, time.Since(start))
 
 	var total uint64
 	for i := 0; i < accounts; i++ {
@@ -157,7 +164,7 @@ func runBank(threads, ops int, persistProb float64, seed int64) error {
 	return nil
 }
 
-func runKV(ops int, persistProb float64, seed int64) error {
+func runKV(ops int, persistProb float64, seed int64, checkpoint, paranoid bool) error {
 	heap := crafty.NewHeap(crafty.HeapConfig{
 		Words:            1 << 22,
 		PersistLatency:   crafty.NoLatency,
@@ -179,39 +186,75 @@ func runKV(ops int, persistProb float64, seed int64) error {
 	const keys = 256
 	fmt.Printf("churning %d puts/deletes over %d keys...\n", ops, keys)
 	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < ops; i++ {
-		k := rng.Intn(keys)
-		key := []byte(fmt.Sprintf("key-%04d", k))
-		if rng.Intn(5) == 0 {
-			if _, err := store.Delete(th, key); err != nil {
+	churn := func(n int) error {
+		for i := 0; i < n; i++ {
+			k := rng.Intn(keys)
+			key := []byte(fmt.Sprintf("key-%04d", k))
+			if rng.Intn(5) == 0 {
+				if _, err := store.Delete(th, key); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := store.Put(th, key, []byte(fmt.Sprintf("value-%04d-%08d", k, i))); err != nil {
 				return err
 			}
-			continue
 		}
-		if err := store.Put(th, key, []byte(fmt.Sprintf("value-%04d-%08d", k, i))); err != nil {
+		return nil
+	}
+	if err := churn(ops / 2); err != nil {
+		return err
+	}
+	if checkpoint {
+		// Quiesce the thread's log first: a checkpoint's watermark is only
+		// sound over a state no future rollback can touch.
+		if q, ok := any(th).(interface{ SyncDurable() error }); ok {
+			if err := q.SyncDurable(); err != nil {
+				return err
+			}
+		}
+		crep, err := store.Checkpoint(eng)
+		if err != nil {
 			return err
 		}
+		fmt.Printf("checkpoint at half-churn: seq=%d epoch=%d, verified %d dirty shards, coalesced %d free blocks\n",
+			crep.Seq, crep.Epoch, crep.DirtyShards, crep.Coalesced)
+	}
+	if err := churn(ops - ops/2); err != nil {
+		return err
 	}
 	printArena(eng)
 
 	fmt.Printf("injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
 	heap.Crash(crafty.NewRandomCrashPolicy(seed, persistProb))
 
+	start := time.Now()
 	report, err := crafty.Recover(heap, layout)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words)\n",
-		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored)
+	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words) in %v\n",
+		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored, time.Since(start))
 
+	start = time.Now()
 	eng2, err := crafty.Reopen(heap, layout, cfg)
 	if err != nil {
 		return err
 	}
 	eng2.AdvanceClock(report.MaxTimestamp)
-	store2, err := crafty.ReopenKV(eng2, root)
+	fmt.Printf("engine reopen (log reattach + arena header scavenge): %v\n", time.Since(start))
+	start = time.Now()
+	store2, rrep, err := crafty.ReopenKVWith(eng2, root, crafty.KVReopenOptions{Paranoid: paranoid})
 	if err != nil {
 		return err
+	}
+	reopenTime := time.Since(start)
+	if rrep.FullVerify {
+		fmt.Printf("index reopen: full path (%s), verified %d/%d shards in %v\n",
+			rrep.FallbackReason, rrep.VerifiedShards, rrep.Shards, reopenTime)
+	} else {
+		fmt.Printf("index reopen: bounded by watermark seq=%d epoch=%d, verified %d/%d shards in %v\n",
+			rrep.WatermarkSeq, rrep.WatermarkEpoch, rrep.VerifiedShards, rrep.Shards, reopenTime)
 	}
 	n, err := store2.Len(eng2.Register())
 	if err != nil {

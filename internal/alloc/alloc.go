@@ -473,6 +473,116 @@ func (a *Arena) mustAllocFlush(words int, f *nvm.Flusher) nvm.Addr {
 	return addr
 }
 
+// Storer is the transactional write handle the TxLog routes block-header
+// flips through: issuing the header word's alloc/free transition as a
+// tx.Store makes the flip part of the owning transaction's undo log, so
+// post-crash rollback of the transaction restores the header along with the
+// data it guards. Engines' Tx types satisfy it.
+type Storer interface {
+	Store(addr nvm.Addr, val uint64)
+}
+
+// allocTx reserves a block for a transactional allocation without writing its
+// base header: the caller issues the header flip through its transaction
+// (see Storer), so the flip rolls back if the transaction does. Everything
+// else — free-list removal, split remainders, the high-water mark — is
+// published here exactly as in allocWith; remainder headers and the
+// high-water mark stay non-transactional because a crash either commits the
+// allocating transaction (they were fenced by its commit) or rolls it back
+// (the restored base header covers the donor whole again). Returns the block
+// base, its size class in words, and the header word the caller must Store.
+func (a *Arena) allocTx(words int, f *nvm.Flusher) (addr nvm.Addr, class int, hdrAddr nvm.Addr, hdrWord uint64) {
+	if words <= 0 {
+		panic(fmt.Sprintf("alloc: invalid size %d", words))
+	}
+	class = sizeClass(words)
+
+	a.mu.Lock()
+	fl := f
+	if fl == nil {
+		fl = a.syncf
+	}
+	addr, ok := a.takeFree(class)
+	if !ok {
+		addr, ok = a.splitFree(class, fl)
+	}
+	if !ok {
+		if int(a.next-a.dataBase)+class > a.dataLines*nvm.WordsPerLine {
+			used := int(a.next - a.dataBase)
+			a.mu.Unlock()
+			panic(fmt.Sprintf("alloc: arena exhausted (%d of %d words used, need %d)", used, a.dataLines*nvm.WordsPerLine, class))
+		}
+		addr = a.next
+		a.next += nvm.Addr(class)
+		a.persistHighWater(fl)
+	}
+	a.markAlloc(addr, class)
+	if f == nil {
+		a.syncf.Drain()
+	}
+	a.mu.Unlock()
+	a.zero(addr, class)
+	return addr, class, a.headerAddr(addr), packHeader(class/nvm.WordsPerLine, true)
+}
+
+// freeHeaderFor returns the header word's address and free-state value for a
+// live block at addr, for a transactional free flip; the block stays
+// allocated until releaseTxFreed is called at commit.
+func (a *Arena) freeHeaderFor(addr nvm.Addr) (class int, hdrAddr nvm.Addr, hdrWord uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l := a.lineOf(addr)
+	if l < 0 || l >= a.dataLines || lsState(a.lineState[l]) != lsAllocBase {
+		panic(fmt.Sprintf("alloc: transactional free of unallocated address %d", addr))
+	}
+	lines := lsLines(a.lineState[l])
+	return lines * nvm.WordsPerLine, a.headerAddr(addr), packHeader(lines, false)
+}
+
+// releaseTxFreed returns a transactionally freed block to the free lists at
+// commit time. The header flip was already written (and undo-logged) by the
+// freeing transaction's own Store, so this touches volatile state only — and
+// deliberately does not coalesce: a merged header at a lower base would
+// shadow this block's restored header if post-crash suffix rollback undoes
+// the free (recovery rolls back every sequence at or after the oldest
+// incomplete one, committed transactions included). Coalescing is deferred to
+// Coalesce, which runs only when rollback can no longer reach these headers.
+func (a *Arena) releaseTxFreed(addr nvm.Addr, class int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.unmarkAlloc(addr, class)
+	a.addFree(addr, class)
+}
+
+// releaseTxAlloc releases a block reserved by allocTx whose transaction never
+// committed. The transaction's header flip was discarded or rolled back with
+// it, so the persistent header may still be anything the block's past left
+// there — in particular a donor-sized free header from a split, which would
+// cover the already-published remainder and shadow its future reuse. Rewrite
+// it as an exact-class free header (non-transactionally: there is no
+// transaction left to log it under, and a crash-time rollback that restores
+// an older image of this word does so only while also rolling back every
+// later transaction that could have observed this release).
+func (a *Arena) releaseTxAlloc(addr nvm.Addr, f *nvm.Flusher) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l := a.lineOf(addr)
+	if l < 0 || l >= a.dataLines || lsState(a.lineState[l]) != lsAllocBase {
+		panic(fmt.Sprintf("alloc: release of unallocated address %d", addr))
+	}
+	class := lsLines(a.lineState[l]) * nvm.WordsPerLine
+	fl := f
+	if fl == nil {
+		fl = a.syncf
+	}
+	a.unmarkAlloc(addr, class)
+	a.writeHeader(fl, addr, class, false)
+	a.addFree(addr, class)
+	if f == nil {
+		a.syncf.Drain()
+	}
+}
+
 // zero clears a block's visible contents. Zeroing happens outside any
 // transaction: freshly allocated memory is private to the allocating
 // transaction until it publishes an address reaching it.
@@ -864,6 +974,78 @@ func (a *Arena) reconcile(reachable []Block) (RecoverReport, error) {
 			a.liveWords, a.freeWords, int(a.next-a.dataBase))
 	}
 	return rep, nil
+}
+
+// Coalesce merges every run of adjacent free blocks into one block, writing
+// the merged headers (flush + drain). Transactional frees deliberately leave
+// their blocks un-coalesced (see releaseTxFreed); callers run Coalesce only
+// at a point where no committed transaction that touched these headers can
+// still be rolled back — after a durability barrier has quiesced every
+// thread's log (the craftykv checkpoint), or after crash recovery. Running it
+// anywhere else risks a merged header shadowing a rolled-back free's restored
+// header. Returns the number of merges performed.
+func (a *Arena) Coalesce() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	merged := 0
+	line := 0
+	for a.lineAddr(line) < a.next {
+		v := a.lineState[line]
+		st, lines := lsState(v), lsLines(v)
+		if (st != lsAllocBase && st != lsFreeBase) || lines <= 0 {
+			break // quarantined or unparseable region: leave it alone
+		}
+		if st != lsFreeBase {
+			line += lines
+			continue
+		}
+		runBase, runLines := line, lines
+		for {
+			nl := runBase + runLines
+			if a.lineAddr(nl) >= a.next {
+				break
+			}
+			nv := a.lineState[nl]
+			if lsState(nv) != lsFreeBase || lsLines(nv) <= 0 {
+				break
+			}
+			a.removeFree(a.lineAddr(nl), lsLines(nv)*nvm.WordsPerLine)
+			runLines += lsLines(nv)
+			merged++
+		}
+		if runLines > lines {
+			addr := a.lineAddr(runBase)
+			a.removeFree(addr, lines*nvm.WordsPerLine)
+			a.writeHeader(a.syncf, addr, runLines*nvm.WordsPerLine, false)
+			a.addFree(addr, runLines*nvm.WordsPerLine)
+		}
+		line = runBase + runLines
+	}
+	a.syncf.Drain()
+	return merged
+}
+
+// AssertLive verifies that every block in blocks is currently allocated with
+// exactly the size class its word count implies — the verification form of
+// reconciliation: the caller's reachable set is checked against the state the
+// header scavenge rebuilt instead of overwriting it. Any mismatch (a lost
+// block, a wrong class, a block swallowed by a quarantined frontier tail)
+// returns an error naming the first offender, and the caller falls back to a
+// full reconcile.
+func (a *Arena) AssertLive(blocks []Block) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, b := range blocks {
+		class := sizeClass(b.Words)
+		l := a.lineOf(b.Addr)
+		if l < 0 || l >= a.dataLines || b.Addr%nvm.WordsPerLine != 0 {
+			return fmt.Errorf("alloc: reachable block %d outside the arena data region", b.Addr)
+		}
+		if v := a.lineState[l]; v != lsPack(lsAllocBase, class/nvm.WordsPerLine) {
+			return fmt.Errorf("alloc: reachable block [%d,+%d) not live after recovery (tag %#x)", b.Addr, class, v)
+		}
+	}
+	return nil
 }
 
 // Live reports how many blocks are currently allocated.

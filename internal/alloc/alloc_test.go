@@ -65,6 +65,13 @@ func TestAllocZeroesRecycledBlocks(t *testing.T) {
 
 func heapOf(a *Arena) *nvm.Heap { return a.heap }
 
+// directTx is the trivial Storer tests hand the TxLog: header flips write
+// straight to the heap, as an uncontended committed transaction publishes
+// them (a pointer type, so boxing it as a Storer does not allocate).
+type directTx struct{ h *nvm.Heap }
+
+func (s *directTx) Store(addr nvm.Addr, v uint64) { s.h.Store(addr, v) }
+
 func TestAllocInvalidAndExhausted(t *testing.T) {
 	// 4 lines total: one metadata line, one header line, two data lines.
 	a := newArena(t, 4*nvm.WordsPerLine)
@@ -368,9 +375,10 @@ func newArenaQuick(words int) *Arena {
 func TestTxLogAbortReleasesAllocations(t *testing.T) {
 	a := newArena(t, 4096)
 	l := NewTxLog(a, nil)
+	tx := &directTx{heapOf(a)}
 	l.Begin()
-	l.Alloc(4)
-	l.Alloc(4)
+	l.Alloc(4, tx)
+	l.Alloc(4, tx)
 	if a.Live() != 2 {
 		t.Fatalf("Live() = %d, want 2", a.Live())
 	}
@@ -383,16 +391,17 @@ func TestTxLogAbortReleasesAllocations(t *testing.T) {
 func TestTxLogCommitAppliesDeferredFrees(t *testing.T) {
 	a := newArena(t, 4096)
 	l := NewTxLog(a, nil)
+	tx := &directTx{heapOf(a)}
 
 	l.Begin()
-	persistent := l.Alloc(4)
+	persistent := l.Alloc(4, tx)
 	l.Commit()
 	if a.Live() != 1 {
 		t.Fatalf("Live() = %d, want 1", a.Live())
 	}
 
 	l.Begin()
-	l.Free(persistent)
+	l.Free(persistent, tx)
 	// Not yet freed: the free is deferred until commit.
 	if a.Live() != 1 {
 		t.Fatalf("free applied before commit")
@@ -406,12 +415,13 @@ func TestTxLogCommitAppliesDeferredFrees(t *testing.T) {
 func TestTxLogAbortDiscardsDeferredFrees(t *testing.T) {
 	a := newArena(t, 4096)
 	l := NewTxLog(a, nil)
+	tx := &directTx{heapOf(a)}
 	l.Begin()
-	persistent := l.Alloc(4)
+	persistent := l.Alloc(4, tx)
 	l.Commit()
 
 	l.Begin()
-	l.Free(persistent)
+	l.Free(persistent, tx)
 	l.Abort()
 	if a.Live() != 1 {
 		t.Fatalf("aborted transaction's free was applied; %d live", a.Live())
@@ -421,14 +431,15 @@ func TestTxLogAbortDiscardsDeferredFrees(t *testing.T) {
 func TestTxLogReplayReturnsSameAddresses(t *testing.T) {
 	a := newArena(t, 4096)
 	l := NewTxLog(a, nil)
+	tx := &directTx{heapOf(a)}
 	l.Begin()
-	first := []nvm.Addr{l.Alloc(2), l.Alloc(8), l.Alloc(2)}
+	first := []nvm.Addr{l.Alloc(2, tx), l.Alloc(8, tx), l.Alloc(2, tx)}
 
 	// The Validate phase re-executes the body; it must receive the same
 	// addresses in the same order, without allocating fresh memory.
 	l.BeginReplay()
 	for i, want := range first {
-		if got := l.Alloc(2); got != want {
+		if got := l.Alloc(2, tx); got != want {
 			t.Fatalf("replayed allocation %d = %d, want %d", i, got, want)
 		}
 	}
@@ -441,11 +452,12 @@ func TestTxLogReplayReturnsSameAddresses(t *testing.T) {
 func TestTxLogReplayCanGrow(t *testing.T) {
 	a := newArena(t, 4096)
 	l := NewTxLog(a, nil)
+	tx := &directTx{heapOf(a)}
 	l.Begin()
-	l.Alloc(2)
+	l.Alloc(2, tx)
 	l.BeginReplay()
-	l.Alloc(2)
-	extra := l.Alloc(2) // the re-execution needed one more block
+	l.Alloc(2, tx)
+	extra := l.Alloc(2, tx) // the re-execution needed one more block
 	if extra == nvm.NilAddr {
 		t.Fatal("extra replay allocation failed")
 	}
@@ -469,12 +481,13 @@ func TestTxLogSteadyStateAllocs(t *testing.T) {
 	}
 	f := h.NewFlusher()
 	l := NewTxLog(a, f)
+	tx := &directTx{h}
 	cycle := func() {
 		l.Begin()
-		b1 := l.Alloc(8)
-		b2 := l.Alloc(24)
-		l.Free(b1)
-		l.Free(b2)
+		b1 := l.Alloc(8, tx)
+		b2 := l.Alloc(24, tx)
+		l.Free(b1, tx)
+		l.Free(b2, tx)
 		l.Commit()
 		f.Drain()
 	}

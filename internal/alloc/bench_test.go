@@ -26,12 +26,13 @@ func newBenchArena(b *testing.B, words int) (*Arena, *nvm.Flusher) {
 func BenchmarkAllocFree(b *testing.B) {
 	a, f := newBenchArena(b, 1<<16)
 	l := NewTxLog(a, f)
+	tx := &directTx{heapOf(a)}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Begin()
-		addr := l.Alloc(24)
-		l.Free(addr)
+		addr := l.Alloc(24, tx)
+		l.Free(addr, tx)
 		l.Commit()
 		f.Fence()
 	}
@@ -43,6 +44,7 @@ func BenchmarkAllocFree(b *testing.B) {
 func BenchmarkAllocFreeMixedSizes(b *testing.B) {
 	a, f := newBenchArena(b, 1<<16)
 	l := NewTxLog(a, f)
+	tx := &directTx{heapOf(a)}
 	sizes := [4]int{8, 24, 64, 16}
 	var scratch [4]nvm.Addr
 	b.ReportAllocs()
@@ -50,10 +52,10 @@ func BenchmarkAllocFreeMixedSizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l.Begin()
 		for j, s := range sizes {
-			scratch[j] = l.Alloc(s)
+			scratch[j] = l.Alloc(s, tx)
 		}
 		for _, addr := range scratch {
-			l.Free(addr)
+			l.Free(addr, tx)
 		}
 		l.Commit()
 		f.Fence()

@@ -13,21 +13,39 @@ import "crafty/internal/nvm"
 //   - frees are deferred until the transaction commits, and discarded if it
 //     never does.
 //
+// Block-header transitions are issued through the owning transaction's own
+// Store (the Storer handed to Alloc and Free), so each alloc and free flip is
+// undo-logged alongside the data it guards: post-crash suffix rollback of the
+// transaction restores the header too, which is what lets recovery trust the
+// header chain instead of reconciling the arena against a full reachable-set
+// walk (see DESIGN.md, "Bounded recovery"). A freed block's return to the
+// free lists still waits for commit — and is volatile-only, since the
+// persistent flip already rode the transaction.
+//
 // A TxLog belongs to one thread and is reset at each transaction boundary.
-// It carries the thread's flusher so the arena's persistent header writes
-// ride the thread's existing persist batching: a header flushed during the
-// body is fenced by the same drain or hardware-transaction commit that makes
-// the transaction's log entries durable, costing the hot path no extra NVM
-// round trips.
+// It carries the thread's flusher so the arena's remaining non-transactional
+// metadata writes (split remainders, the high-water mark) ride the thread's
+// existing persist batching: they are fenced by the same drain or
+// hardware-transaction commit that makes the transaction's log entries
+// durable, costing the hot path no extra NVM round trips.
 type TxLog struct {
 	arena   *Arena
 	flusher *nvm.Flusher
-	allocs  []nvm.Addr
-	frees   []nvm.Addr
+	allocs  []blockRec
+	frees   []blockRec
 
 	// replay is the index of the next recorded allocation to hand back out
 	// while re-executing a body (Validate phase); -1 means live allocation.
 	replay int
+}
+
+// blockRec names one block the transaction allocated or freed, with the
+// header word its flip wrote (replays must re-issue the identical Store).
+type blockRec struct {
+	addr    nvm.Addr
+	class   int // size class in words
+	hdrAddr nvm.Addr
+	hdrWord uint64
 }
 
 // NewTxLog creates an allocation log over arena. flusher is the owning
@@ -58,55 +76,71 @@ func (l *TxLog) BeginReplay() {
 	l.frees = l.frees[:0]
 }
 
-// Alloc allocates a block of the given size, or replays a previously
-// recorded allocation when in replay mode.
-func (l *TxLog) Alloc(words int) nvm.Addr {
+// Alloc allocates a block of the given size, issuing its header's alloc flip
+// through tx so the flip is undo-logged with the transaction. In replay mode
+// a previously recorded allocation is handed back and the identical header
+// Store is re-issued, keeping the re-executed body's write sequence equal to
+// the logged one.
+func (l *TxLog) Alloc(words int, tx Storer) nvm.Addr {
 	if l.replay >= 0 {
 		if l.replay < len(l.allocs) {
-			addr := l.allocs[l.replay]
+			r := l.allocs[l.replay]
 			l.replay++
-			return addr
+			tx.Store(r.hdrAddr, r.hdrWord)
+			return r.addr
 		}
 		// The re-execution allocated more than the original run (it observed
 		// different state); fall through to a live allocation, which will be
 		// released if the attempt fails.
-		addr := l.arena.mustAllocFlush(words, l.flusher)
-		l.allocs = append(l.allocs, addr)
+		r := l.liveAlloc(words, tx)
 		l.replay = len(l.allocs)
-		return addr
+		return r
 	}
-	addr := l.arena.mustAllocFlush(words, l.flusher)
-	l.allocs = append(l.allocs, addr)
+	return l.liveAlloc(words, tx)
+}
+
+func (l *TxLog) liveAlloc(words int, tx Storer) nvm.Addr {
+	addr, class, hdrAddr, hdrWord := l.arena.allocTx(words, l.flusher)
+	l.allocs = append(l.allocs, blockRec{addr: addr, class: class, hdrAddr: hdrAddr, hdrWord: hdrWord})
+	tx.Store(hdrAddr, hdrWord)
 	return addr
 }
 
-// Free records a deferred free of addr.
-func (l *TxLog) Free(addr nvm.Addr) {
-	l.frees = append(l.frees, addr)
+// Free records a deferred free of addr, issuing the header's free flip
+// through tx immediately: the flip commits (and rolls back) with the
+// transaction, while the block's return to the free lists waits for Commit.
+func (l *TxLog) Free(addr nvm.Addr, tx Storer) {
+	class, hdrAddr, hdrWord := l.arena.freeHeaderFor(addr)
+	l.frees = append(l.frees, blockRec{addr: addr, class: class, hdrAddr: hdrAddr, hdrWord: hdrWord})
+	tx.Store(hdrAddr, hdrWord)
 }
 
 // Abort releases every allocation recorded since Begin; the transaction never
-// committed, so its memory must not leak. Deferred frees are discarded.
+// committed, so its memory must not leak. The transactional header flips were
+// discarded or rolled back with the attempt, so each release rewrites an
+// exact-class free header (see Arena.releaseTxAlloc). Deferred frees are
+// discarded — their flips died with the attempt too.
 func (l *TxLog) Abort() {
-	for _, addr := range l.allocs {
-		l.arena.FreeFlush(addr, l.flusher)
+	for _, r := range l.allocs {
+		l.arena.releaseTxAlloc(r.addr, l.flusher)
 	}
 	l.allocs = l.allocs[:0]
 	l.frees = l.frees[:0]
 	l.replay = -1
 }
 
-// Commit applies the deferred frees; the allocations become permanent. If the
+// Commit applies the deferred frees (volatile-only: their header flips
+// committed with the transaction); the allocations become permanent. If the
 // committing execution was a replay that consumed fewer allocations than the
 // original run recorded, the surplus blocks are released so they do not leak.
 func (l *TxLog) Commit() {
 	if l.replay >= 0 {
-		for _, addr := range l.allocs[l.replay:] {
-			l.arena.FreeFlush(addr, l.flusher)
+		for _, r := range l.allocs[l.replay:] {
+			l.arena.releaseTxAlloc(r.addr, l.flusher)
 		}
 	}
-	for _, addr := range l.frees {
-		l.arena.FreeFlush(addr, l.flusher)
+	for _, r := range l.frees {
+		l.arena.releaseTxFreed(r.addr, r.class)
 	}
 	l.allocs = l.allocs[:0]
 	l.frees = l.frees[:0]

@@ -160,6 +160,12 @@ func TestReopenRecoversArenaState(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// Quiesce the log: the free's header flip is undo-logged, so without a
+	// covering sequence the suffix rollback would undo the free itself (the
+	// newest persisted sequence per thread is always rolled back).
+	if err := th.SyncDurable(); err != nil {
+		t.Fatal(err)
+	}
 	usedBefore := eng.Arena().Used()
 
 	heap.Crash(nvm.PersistAll{})

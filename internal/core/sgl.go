@@ -51,7 +51,7 @@ func (c *collectTx) Alloc(words int) nvm.Addr {
 	if c.t.txAlloc == nil {
 		panic("core: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return c.t.txAlloc.Alloc(words)
+	return c.t.txAlloc.Alloc(words, c)
 }
 
 // Free implements ptm.Tx.
@@ -59,7 +59,7 @@ func (c *collectTx) Free(addr nvm.Addr) {
 	if c.t.txAlloc == nil {
 		panic("core: Tx.Free requires Config.ArenaWords > 0")
 	}
-	c.t.txAlloc.Free(addr)
+	c.t.txAlloc.Free(addr, c)
 }
 
 // runSGL completes a persistent transaction under the single global lock

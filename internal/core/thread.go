@@ -176,7 +176,7 @@ func (c *craftyTx) Alloc(words int) nvm.Addr {
 	if c.t.txAlloc == nil {
 		panic("core: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return c.t.txAlloc.Alloc(words)
+	return c.t.txAlloc.Alloc(words, c)
 }
 
 // Free implements ptm.Tx.
@@ -184,7 +184,7 @@ func (c *craftyTx) Free(addr nvm.Addr) {
 	if c.t.txAlloc == nil {
 		panic("core: Tx.Free requires Config.ArenaWords > 0")
 	}
-	c.t.txAlloc.Free(addr)
+	c.t.txAlloc.Free(addr, c)
 }
 
 // Atomic implements ptm.Thread: it executes body as one Crafty persistent

@@ -100,14 +100,17 @@ const defaultTxBudget = 256
 
 // opWriteCost estimates the persistent word writes one operation can perform
 // inside a group transaction: a put worst-case claims a slot (2), bumps both
-// shard counters (2), and fills a fresh entry block; a delete tombstones its
-// slot (2) and drops the live counter (1); a get writes nothing.
+// shard counters (2), stamps the shard's dirty epoch (1), fills a fresh entry
+// block, and — when it replaces — flips the old block's allocation header (1)
+// alongside the new block's (1); a delete tombstones its slot (2), drops the
+// live counter (1), stamps the epoch (1), and flips its block's header (1); a
+// get writes nothing.
 func opWriteCost(op *Op) int {
 	switch op.Kind {
 	case OpPut:
-		return 4 + blockWords(len(op.Key), len(op.Value))
+		return 7 + blockWords(len(op.Key), len(op.Value))
 	case OpDelete:
-		return 3
+		return 5
 	default:
 		return 0
 	}

@@ -26,6 +26,7 @@ package kv
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"crafty/internal/alloc"
 	"crafty/internal/nvm"
@@ -38,6 +39,8 @@ import (
 //
 //	line 0:             magic, version, shards, initial slots per shard
 //	lines 1..2*shards:  shard headers, two cache lines each
+//	last 2 lines:       checkpoint watermark, two slots of one line each
+//	                    (see checkpoint.go)
 //
 // Shard header (2 lines). The first line is read-mostly (rewritten only at
 // rehash state transitions) and the second is write-hot (counters and
@@ -73,6 +76,15 @@ const (
 	shUsed         = 9
 	shZeroCursor   = 10
 	shMigrate      = 11
+	// shEpoch is the shard's persistent dirty stamp: every transaction that
+	// structurally mutates the shard (insert, replace, delete, any rehash
+	// step) writes the store's current epoch here, through the transaction,
+	// so the stamp rolls back with the mutations it covers. A checkpoint
+	// records the epoch up to which every shard was verified; reopen treats a
+	// shard as dirty exactly when its stamp exceeds the checkpointed epoch.
+	// It shares the write-hot header line with the counters, so stamping
+	// costs mutating transactions no additional cache line.
+	shEpoch = 12
 
 	shardHeaderWords = 2 * nvm.WordsPerLine
 
@@ -134,6 +146,13 @@ type Store struct {
 	// (ptm.WriteBudgeter), captured at Create/Reopen; Apply splits its shard
 	// groups so no group transaction's estimated writes exceed it.
 	txBudget int
+
+	// epoch is the stamp mutating transactions write into their shard's
+	// shEpoch word. It starts one past the last checkpoint's epoch (or past
+	// the largest stamp found at reopen) and advances only when Checkpoint
+	// persists a new watermark, so "stamp > watermark epoch" is exactly
+	// "mutated since the last checkpoint".
+	epoch atomic.Uint64
 }
 
 // arenaOf returns eng's allocation arena if the engine exposes one (every
@@ -165,11 +184,12 @@ func Create(eng ptm.Engine, th ptm.Thread, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	prepareArena(eng)
-	root, err := eng.Heap().Carve((1 + 2*cfg.Shards) * nvm.WordsPerLine)
+	root, err := eng.Heap().Carve((1 + 2*cfg.Shards + ckptSlots) * nvm.WordsPerLine)
 	if err != nil {
 		return nil, fmt.Errorf("kv: carving root region: %w", err)
 	}
 	s := &Store{root: root, shards: cfg.Shards, txBudget: ptm.TxWriteBudgetOf(eng, defaultTxBudget)}
+	s.epoch.Store(1)
 	for sh := 0; sh < cfg.Shards; sh++ {
 		hdr := s.shardHeader(sh)
 		if err := th.Atomic(func(tx ptm.Tx) error {
@@ -201,46 +221,30 @@ func Create(eng ptm.Engine, th ptm.Thread, cfg Config) (*Store, error) {
 
 // Reopen re-materializes a store from its root address after the engine-level
 // recovery has run (e.g. crafty.Recover followed by crafty.Reopen, which
-// scavenges the arena's persistent block headers). It verifies the whole
-// index, then reconciles the arena against the verified reachable set: every
-// table and live entry block becomes live and everything else below the
-// arena's high-water mark returns to the free lists — including blocks that
-// were free at the crash, blocks orphaned by rolled-back transactions, and
-// any frontier tail the header scavenge had to quarantine. Reopen fails if a
-// single word is left unaccounted, so a crash/recover cycle never shrinks
-// the arena's usable space. eng must expose its arena (every engine in this
-// repository does).
+// scavenges the arena's persistent block headers). It always takes the full
+// path — the whole index is verified and the arena reconciled against the
+// verified reachable set, failing if a single word is left unaccounted —
+// regardless of any checkpoint watermark. ReopenWith is the bounded-recovery
+// form that verifies only shards dirtied since the last checkpoint. eng must
+// expose its arena (every engine in this repository does).
 func Reopen(eng ptm.Engine, root nvm.Addr) (*Store, error) {
-	heap := eng.Heap()
-	if got := heap.Load(root + offMagic); got != magicWord {
-		return nil, fmt.Errorf("kv: no store at %d (magic %#x)", root, got)
+	s, _, err := ReopenWith(eng, root, ReopenOptions{Paranoid: true})
+	return s, err
+}
+
+// stampShard marks the shard dirty for the current epoch; every structural
+// mutation (insert, replace, delete, rehash step) calls it inside its own
+// transaction, so a rolled-back mutation rolls its stamp back too. The
+// read-before-write keeps the common restamp a pure load (the word shares
+// the write-hot counter line, so no extra cache line joins the write set
+// either way). In-place value updates deliberately do not stamp: they change
+// no slot, no counter, and no allocation, so nothing the reopen verification
+// checks depends on them.
+func (s *Store) stampShard(tx ptm.Tx, hdr nvm.Addr) {
+	e := s.epoch.Load()
+	if tx.Load(hdr+shEpoch) != e {
+		tx.Store(hdr+shEpoch, e)
 	}
-	if got := heap.Load(root + offVersion); got != version {
-		return nil, fmt.Errorf("kv: store version %d, want %d", heap.Load(root+offVersion), version)
-	}
-	s := &Store{root: root, shards: int(heap.Load(root + offShards)), txBudget: ptm.TxWriteBudgetOf(eng, defaultTxBudget)}
-	if s.shards < 1 || s.shards&(s.shards-1) != 0 {
-		return nil, fmt.Errorf("kv: corrupt shard count %d", s.shards)
-	}
-	if _, err := s.Verify(heap); err != nil {
-		return nil, err
-	}
-	arena := arenaOf(eng)
-	if arena == nil {
-		return nil, fmt.Errorf("kv: engine %s does not expose an allocation arena to rebuild", eng.Name())
-	}
-	reachable, err := s.reachableBlocks(heap)
-	if err != nil {
-		return nil, err
-	}
-	// Recover's reconciling form fails unless live + free words exactly
-	// cover the arena's high-water mark, so a successful return is the
-	// zero-leak guarantee.
-	if _, err := arena.Recover(reachable); err != nil {
-		return nil, fmt.Errorf("kv: reconciling arena with the index: %w", err)
-	}
-	prepareArena(eng)
-	return s, nil
 }
 
 // Root returns the store's root address; keep it with the heap (alongside the
@@ -484,6 +488,7 @@ func (s *Store) putSlot(tx ptm.Tx, hdr nvm.Addr, h uint64, key, value []byte) er
 			storeBytes(tx, old+1+nvm.Addr((keyLen+7)/8), value)
 			return nil
 		}
+		s.stampShard(tx, hdr)
 		tx.Store(slot+1, uint64(writeBlock(tx, key, value)))
 		tx.Free(old)
 		return nil
@@ -498,6 +503,7 @@ func (s *Store) putSlot(tx ptm.Tx, hdr nvm.Addr, h uint64, key, value []byte) er
 		if tag != tagEmpty && tag != tagTombstone {
 			continue
 		}
+		s.stampShard(tx, hdr)
 		tx.Store(slot+1, uint64(writeBlock(tx, key, value)))
 		tx.Store(slot, fingerprint(h))
 		tx.Store(hdr+shLive, tx.Load(hdr+shLive)+1)
@@ -528,6 +534,7 @@ func (s *Store) deleteSlot(tx ptm.Tx, hdr nvm.Addr, h uint64, key []byte) bool {
 	if slot == nvm.NilAddr {
 		return false
 	}
+	s.stampShard(tx, hdr)
 	block := nvm.Addr(tx.Load(slot + 1))
 	tx.Store(slot, tagTombstone)
 	tx.Store(slot+1, 0)

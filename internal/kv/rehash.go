@@ -45,6 +45,7 @@ func (s *Store) maybeStartRehash(tx ptm.Tx, hdr nvm.Addr, used, slots uint64) {
 	if tx.Load(hdr+shOld) != 0 || tx.Load(hdr+shPending) != 0 {
 		return // already in progress
 	}
+	s.stampShard(tx, hdr)
 	pendingSlots := slots * 2
 	pending := tx.Alloc(int(pendingSlots) * slotWords)
 	tx.Store(hdr+shPending, uint64(pending))
@@ -69,6 +70,7 @@ func (s *Store) stepRehash(tx ptm.Tx, hdr nvm.Addr) {
 // the pending table becomes the active one and the previous active table
 // becomes the migration source.
 func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) {
+	s.stampShard(tx, hdr)
 	pendingWords := tx.Load(hdr+shPendingSlots) * slotWords
 	cursor := tx.Load(hdr + shZeroCursor)
 	end := cursor + zeroBatchWords
@@ -97,6 +99,7 @@ func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) {
 // stepMigration moves up to migrateBatch live entries from the old table into
 // the active one, then frees the old table once the cursor passes its end.
 func (s *Store) stepMigration(tx ptm.Tx, hdr, old nvm.Addr) {
+	s.stampShard(tx, hdr)
 	oldSlots := tx.Load(hdr + shOldSlots)
 	table := nvm.Addr(tx.Load(hdr + shTable))
 	slots := tx.Load(hdr + shSlots)

@@ -22,10 +22,29 @@ type VerifyReport struct {
 // key or block appearing twice. It is the post-crash index check and the
 // workload driver's integrity check.
 func (s *Store) Verify(heap *nvm.Heap) (VerifyReport, error) {
+	return s.verifyShards(heap, s.allShards())
+}
+
+// allShards returns [0, 1, ..., shards-1].
+func (s *Store) allShards() []int {
+	all := make([]int, s.shards)
+	for sh := range all {
+		all[sh] = sh
+	}
+	return all
+}
+
+// verifyShards is Verify restricted to the given shards — the bounded-
+// recovery form: a checkpoint verifies the shards dirtied since the previous
+// checkpoint, and ReopenWith the shards dirtied since the last watermark.
+// The duplicate-key and duplicate-block checks cover only the verified
+// subset; cross-checking against unverified shards is what the full pass
+// (and the paranoid reopen) is for.
+func (s *Store) verifyShards(heap *nvm.Heap, shardSet []int) (VerifyReport, error) {
 	var rep VerifyReport
 	blocks := map[nvm.Addr]string{}
 	keys := map[string]bool{}
-	for sh := 0; sh < s.shards; sh++ {
+	for _, sh := range shardSet {
 		hdr := s.shardHeader(sh)
 		table := nvm.Addr(heap.Load(hdr + shTable))
 		slots := heap.Load(hdr + shSlots)
@@ -133,6 +152,13 @@ func (s *Store) checkEntry(heap *nvm.Heap, sh int, tag uint64, block nvm.Addr) (
 // mark reusable, so nothing leaks across a crash. Overlapping regions
 // indicate a corrupt index and fail with a description of both.
 func (s *Store) reachableBlocks(heap *nvm.Heap) ([]alloc.Block, error) {
+	return s.reachableBlocksOf(heap, s.allShards())
+}
+
+// reachableBlocksOf enumerates the blocks reachable from the given shards
+// only; the bounded-recovery reopen asserts these against the scavenged
+// arena instead of reconciling the whole live set.
+func (s *Store) reachableBlocksOf(heap *nvm.Heap, shardSet []int) ([]alloc.Block, error) {
 	type region struct {
 		addr  nvm.Addr
 		words int
@@ -142,7 +168,7 @@ func (s *Store) reachableBlocks(heap *nvm.Heap) ([]alloc.Block, error) {
 	add := func(addr nvm.Addr, words int, what string) {
 		regions = append(regions, region{addr, words, what})
 	}
-	for sh := 0; sh < s.shards; sh++ {
+	for _, sh := range shardSet {
 		hdr := s.shardHeader(sh)
 		table := nvm.Addr(heap.Load(hdr + shTable))
 		slots := heap.Load(hdr + shSlots)

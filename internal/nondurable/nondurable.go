@@ -164,14 +164,14 @@ func (x *tx) Alloc(words int) nvm.Addr {
 	if x.th.txAlloc == nil {
 		panic("nondurable: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return x.th.txAlloc.Alloc(words)
+	return x.th.txAlloc.Alloc(words, x)
 }
 
 func (x *tx) Free(addr nvm.Addr) {
 	if x.th.txAlloc == nil {
 		panic("nondurable: Tx.Free requires Config.ArenaWords > 0")
 	}
-	x.th.txAlloc.Free(addr)
+	x.th.txAlloc.Free(addr, x)
 }
 
 // sglTx executes under the single global lock, buffering writes so that a
@@ -212,14 +212,14 @@ func (x *sglTx) Alloc(words int) nvm.Addr {
 	if x.th.txAlloc == nil {
 		panic("nondurable: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return x.th.txAlloc.Alloc(words)
+	return x.th.txAlloc.Alloc(words, x)
 }
 
 func (x *sglTx) Free(addr nvm.Addr) {
 	if x.th.txAlloc == nil {
 		panic("nondurable: Tx.Free requires Config.ArenaWords > 0")
 	}
-	x.th.txAlloc.Free(addr)
+	x.th.txAlloc.Free(addr, x)
 }
 
 // Atomic implements ptm.Thread.

@@ -80,14 +80,14 @@ func (x *tx) Alloc(words int) nvm.Addr {
 	if x.th.txAlloc == nil {
 		panic("nvhtm: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return x.th.txAlloc.Alloc(words)
+	return x.th.txAlloc.Alloc(words, x)
 }
 
 func (x *tx) Free(addr nvm.Addr) {
 	if x.th.txAlloc == nil {
 		panic("nvhtm: Tx.Free requires Config.ArenaWords > 0")
 	}
-	x.th.txAlloc.Free(addr)
+	x.th.txAlloc.Free(addr, x)
 }
 
 // Atomic implements ptm.Thread.
@@ -318,14 +318,14 @@ func (x *sglTx) Alloc(words int) nvm.Addr {
 	if x.th.txAlloc == nil {
 		panic("nvhtm: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return x.th.txAlloc.Alloc(words)
+	return x.th.txAlloc.Alloc(words, x)
 }
 
 func (x *sglTx) Free(addr nvm.Addr) {
 	if x.th.txAlloc == nil {
 		panic("nvhtm: Tx.Free requires Config.ArenaWords > 0")
 	}
-	x.th.txAlloc.Free(addr)
+	x.th.txAlloc.Free(addr, x)
 }
 
 func (t *Thread) abandon(err error) error {

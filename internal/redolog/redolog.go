@@ -186,14 +186,14 @@ func (x *tx) Alloc(words int) nvm.Addr {
 	if x.th.txAlloc == nil {
 		panic("redolog: Tx.Alloc requires Config.ArenaWords > 0")
 	}
-	return x.th.txAlloc.Alloc(words)
+	return x.th.txAlloc.Alloc(words, x)
 }
 
 func (x *tx) Free(addr nvm.Addr) {
 	if x.th.txAlloc == nil {
 		panic("redolog: Tx.Free requires Config.ArenaWords > 0")
 	}
-	x.th.txAlloc.Free(addr)
+	x.th.txAlloc.Free(addr, x)
 }
 
 // Atomic implements ptm.Thread.

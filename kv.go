@@ -49,14 +49,37 @@ const (
 // all-or-nothing).
 var ErrKVGroupAborted = kv.ErrGroupAborted
 
-// ReopenKV re-materializes a store from its root address after a crash. Call
-// it after the engine-level recovery flow (Recover, then Reopen, then
-// AdvanceClock); it verifies the whole index, then reconciles the engine's
-// allocation arena against the verified reachable set: every index table and
-// live entry block stays allocated, and every other word below the arena's
-// high-water mark returns to the free lists. ReopenKV fails if a single word
-// is left unaccounted, so repeated crash/recovery cycles never shrink the
-// store's usable space.
+// KVReopenOptions selects how ReopenKVWith recovers the index (today: the
+// Paranoid full-verify escape hatch).
+type KVReopenOptions = kv.ReopenOptions
+
+// KVReopenReport describes what a reopen had to do: how many shards were
+// verified, which watermark bounded the work, and whether the full path ran.
+type KVReopenReport = kv.ReopenReport
+
+// KVCheckpointReport summarizes one KV.Checkpoint pass.
+type KVCheckpointReport = kv.CheckpointReport
+
+// ReopenKV re-materializes a store from its root address after a crash,
+// always on the full path: the whole index is verified and the engine's
+// allocation arena is reconciled against the verified reachable set — every
+// index table and live entry block stays allocated, every other word below
+// the arena's high-water mark returns to the free lists, and the reopen
+// fails if a single word is left unaccounted. Call it after the engine-level
+// recovery flow (Recover, then Reopen, then AdvanceClock). Stores that
+// checkpoint (KV.Checkpoint) can use ReopenKVWith for recovery work bounded
+// by the dirty set instead.
 func ReopenKV(eng ptm.Engine, root Addr) (*KV, error) {
 	return kv.Reopen(eng, root)
+}
+
+// ReopenKVWith is ReopenKV with bounded recovery: when the store holds a
+// valid checkpoint watermark (and opts.Paranoid is unset), only the shards
+// dirtied since that checkpoint are verified and only their blocks are
+// asserted against the allocation arena, so recovery work scales with the
+// dirty set rather than the store. It falls back to the full path — and says
+// so in the report — whenever the watermark is missing, torn, or
+// contradicted by the arena.
+func ReopenKVWith(eng ptm.Engine, root Addr, opts KVReopenOptions) (*KV, KVReopenReport, error) {
+	return kv.ReopenWith(eng, root, opts)
 }
