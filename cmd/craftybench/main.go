@@ -31,6 +31,8 @@ import (
 	"strings"
 
 	"crafty/internal/harness"
+	"crafty/internal/htm"
+	"crafty/internal/ptm"
 )
 
 func main() {
@@ -61,6 +63,33 @@ type jsonCell struct {
 	Throughput   float64 `json:"ops_per_sec"`
 	Normalized   float64 `json:"normalized"`
 	WritesPerTxn float64 `json:"writes_per_txn"`
+
+	// The ptm.Stats breakdown for the cell: committed persistent
+	// transactions by outcome, hardware transaction commits and aborts by
+	// cause, and body-error abandons — so BENCH artifacts can explain why a
+	// throughput number moved, not just that it did.
+	Outcomes   map[string]uint64 `json:"outcomes,omitempty"`
+	HTMCommits uint64            `json:"htm_commits,omitempty"`
+	HTMAborts  map[string]uint64 `json:"htm_aborts,omitempty"`
+	UserAborts uint64            `json:"user_aborts,omitempty"`
+}
+
+// breakdownOf flattens a cell's ptm.Stats into the jsonCell maps, dropping
+// zero entries so the common case stays compact.
+func breakdownOf(st ptm.Stats) (outcomes, aborts map[string]uint64) {
+	outcomes = make(map[string]uint64)
+	for o := 0; o < ptm.NumOutcomes; o++ {
+		if n := st.Persistent[o]; n != 0 {
+			outcomes[ptm.Outcome(o).MetricKey()] = n
+		}
+	}
+	aborts = make(map[string]uint64)
+	for c := 1; c < htm.NumCauses; c++ {
+		if n := st.HTM.Aborts[c]; n != 0 {
+			aborts[htm.AbortCause(c).String()] = n
+		}
+	}
+	return outcomes, aborts
 }
 
 func run(experiment string, ops int, threadsFlag string, seed int64, verbose, jsonOut bool) error {
@@ -89,6 +118,7 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose, js
 		}
 		if jsonOut {
 			for _, c := range result.Cells {
+				outcomes, aborts := breakdownOf(c.Result.Stats)
 				cells = append(cells, jsonCell{
 					Figure:       fig.ID,
 					Workload:     c.Workload,
@@ -99,6 +129,10 @@ func run(experiment string, ops int, threadsFlag string, seed int64, verbose, js
 					Throughput:   c.Result.Throughput,
 					Normalized:   c.Normalized,
 					WritesPerTxn: c.Result.Stats.WritesPerTxn(),
+					Outcomes:     outcomes,
+					HTMCommits:   c.Result.Stats.HTM.Commits,
+					HTMAborts:    aborts,
+					UserAborts:   c.Result.Stats.UserAborts,
 				})
 			}
 			return nil

@@ -34,6 +34,12 @@
 //	DEL <key>                  -> OK | NIL
 //	LEN                        -> LEN <n>
 //	STATS                      -> STATS live_blocks=<n> live_words=<n> ...
+//	INFO                       -> INFO <n> header, then n "name value"
+//	                              lines: the full metrics snapshot (engine
+//	                              outcome counters, HTM commit/abort causes,
+//	                              scheduler queue and latency stats, arena
+//	                              and NVM counters) — the same data the
+//	                              -metrics HTTP endpoint serves as JSON
 //	SYNC                       -> OK            (scheduler barrier: every
 //	                                             worker quiesces its log, so
 //	                                             prior writes survive the
@@ -82,6 +88,8 @@ func main() {
 		persistProb = flag.Float64("persist-prob", 0.5, "probability an unflushed word survives an injected crash")
 		checkpoint  = flag.Duration("checkpoint", 0, "incremental checkpoint cadence (0 disables; each pass bounds the next recovery to the shards dirtied after it)")
 		paranoid    = flag.Bool("paranoid", false, "recover with the full index verify + arena reconcile even when a checkpoint watermark would bound it")
+		metricsAddr = flag.String("metrics", "", "HTTP listen address for the metrics snapshot (/metrics) and pprof (/debug/pprof/); empty disables")
+		metricsLog  = flag.Duration("metrics-log", 0, "periodic one-line metrics log cadence (0 disables)")
 	)
 	flag.Parse()
 
@@ -102,11 +110,28 @@ func main() {
 	if *checkpoint > 0 {
 		srv.startCheckpointer(*checkpoint, make(chan struct{}))
 	}
+	if *metricsLog > 0 {
+		srv.startMetricsLogger(*metricsLog, make(chan struct{}))
+	}
+	metricsOn := "off"
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.serveMetrics(ml)
+		metricsOn = ml.Addr().String()
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("craftykv: serving on %s (%d shards, %d workers, drain %d)", l.Addr(), *shards, *pool, *drain)
+	log.Printf("craftykv: engine %q serving on %s", srv.eng.Name(), l.Addr())
+	log.Printf("craftykv: config: shards=%d slots=%d heap_words=%d arena_words=%d pool=%d drain=%d queue=%d checkpoint=%s persist_prob=%g paranoid=%t metrics=%s metrics_log=%s",
+		*shards, *slots, *heapWords, *arenaWords, *pool, *drain, *queue, *checkpoint, *persistProb, *paranoid, metricsOn, *metricsLog)
+	if *metricsAddr != "" {
+		log.Printf("craftykv: metrics on http://%s/metrics (pprof under /debug/pprof/)", metricsOn)
+	}
 	log.Fatal(srv.serve(l))
 }
 
@@ -156,6 +181,11 @@ type server struct {
 	// they get an immediate, explicit error instead of hanging behind the
 	// recovery.
 	recovering atomic.Bool
+
+	// obs is the server's metrics block (metrics.go); never nil once
+	// newServer returns. connSeq hands each connection a counter stripe.
+	obs     *serverMetrics
+	connSeq atomic.Uint64
 }
 
 func newServer(cfg config) (*server, error) {
@@ -204,9 +234,14 @@ func newServer(cfg config) (*server, error) {
 	if err := syncThread(s.threads[0], s.root); err != nil {
 		return nil, err
 	}
+	// Create every worker before building the metrics block (their
+	// queue-depth gauges close over the queues), and build it before any
+	// worker goroutine starts (workers record drained batch sizes).
 	for i := 0; i < cfg.Pool; i++ {
-		w := &worker{srv: s, id: i, queue: make(chan task, cfg.Queue)}
-		s.workers = append(s.workers, w)
+		s.workers = append(s.workers, &worker{srv: s, id: i, queue: make(chan task, cfg.Queue)})
+	}
+	s.obs = newServerMetrics(s)
+	for _, w := range s.workers {
 		go w.run()
 	}
 	return s, nil
@@ -261,8 +296,16 @@ func (s *server) sync() error {
 // slot left nil) if any quiesce failed, since a watermark over an unsynced
 // state would be unsound.
 func (s *server) syncWith(hook func() error) error {
+	// The barrier runs no transaction of its own, so timing it here is
+	// off-path; the wait covers the serialization behind syncMu too, which is
+	// what a client blocked on SYNC actually experiences.
+	t0 := time.Now()
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
+	defer func() {
+		s.obs.syncs.Inc(0)
+		s.obs.syncWaitNs.ObserveSince(t0)
+	}()
 	b := &syncBarrier{release: make(chan struct{})}
 	b.arrive.Add(len(s.workers))
 	b.done.Add(len(s.workers))
@@ -378,6 +421,12 @@ func (s *server) crash() (rolledBack int, entries uint64, rep crafty.KVReopenRep
 	}
 	log.Printf("craftykv: recovery: rollback %v (%d sequences), engine reopen %v, index %v (%s, %d/%d shards verified)",
 		rollbackTime, report.SequencesRolledBack, engineTime, indexTime, path, rep.VerifiedShards, rep.Shards)
+	s.obs.crashes.Inc(0)
+	s.obs.recoveryNs.Observe((rollbackTime + engineTime + indexTime).Nanoseconds())
+	// Re-adopt the startup metrics blocks so the engine/store counters keep
+	// accumulating across incarnations instead of resetting with each crash.
+	eng.AdoptMetrics(s.obs.engM)
+	store.AdoptMetrics(s.obs.kvM)
 	s.eng = eng
 	s.store = store
 	s.registerThreads()
@@ -424,23 +473,40 @@ func writeLinef(out *bufio.Writer, format string, args ...any) {
 // a pipelined burst costs one write syscall for the whole batch.
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
+	// Each connection gets its own counter stripe so concurrent connections'
+	// traffic counters never contend on a cache line.
+	stripe := int(s.connSeq.Add(1))
+	s.obs.connsTotal.Inc(stripe)
+	s.obs.conns.Add(1)
+	defer s.obs.conns.Add(-1)
 	// The reader size is also the request-line bound: ReadSlice fails with
 	// ErrBufferFull once a newline-free line exceeds it, so a misbehaving
 	// client cannot grow one line without limit.
 	in := bufio.NewReaderSize(conn, 1<<20)
-	out := bufio.NewWriter(conn)
+	// The byte counter sits under the bufio.Writer: one add per flush.
+	out := bufio.NewWriter(&countWriter{w: conn, c: s.obs.bytesOut, stripe: stripe})
 	pending := make(chan *request, 128)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
+		var burst int64
 		for req := range pending {
 			<-req.done
 			render(out, req)
+			// Enqueue→reply latency for scheduler-routed requests, stamped
+			// strictly outside any transaction (t0 at parse time, here after
+			// the response rendered). Inline replies never hit the scheduler.
+			if req.cmd != cmdInline {
+				s.obs.opLatency.ObserveSince(req.t0)
+			}
 			if req.notify != nil {
 				close(req.notify)
 			}
+			burst++
 			if len(pending) == 0 {
+				s.obs.bursts.Observe(burst)
+				burst = 0
 				if out.Flush() != nil {
 					// The connection is gone; keep draining so the reader
 					// never blocks on a full pending queue.
@@ -459,15 +525,17 @@ func (s *server) handle(conn net.Conn) {
 		out.Flush()
 	}()
 
-	c := &connReader{srv: s, pending: pending}
+	c := &connReader{srv: s, pending: pending, stripe: stripe}
 	for {
 		raw, err := in.ReadSlice('\n')
+		s.obs.bytesIn.Add(stripe, uint64(len(raw)))
 		if err == bufio.ErrBufferFull {
 			c.push(inlineRequest("ERR request line too long"))
 			break
 		}
 		line := strings.TrimRight(string(raw), "\r\n")
 		if line != "" {
+			s.obs.cmds.Inc(stripe)
 			if !c.dispatch(line) {
 				break
 			}
@@ -484,11 +552,17 @@ func (s *server) handle(conn net.Conn) {
 type connReader struct {
 	srv     *server
 	pending chan *request
+	stripe  int
 }
 
 // push submits a request to the scheduler and appends it to the
-// connection's response queue.
+// connection's response queue. Pre-rendered errors (usage mistakes, unknown
+// commands, failed control commands) are counted here — the one spot every
+// error-shaped inline reply passes through.
 func (c *connReader) push(req *request) {
+	if req.cmd == cmdInline && strings.HasPrefix(req.text, "ERR") {
+		c.srv.obs.cmdErrs.Inc(c.stripe)
+	}
 	c.srv.submit(req)
 	c.pending <- req
 }
@@ -587,6 +661,13 @@ func (c *connReader) dispatch(line string) bool {
 			"STATS live_blocks=%d live_words=%d free_blocks=%d free_words=%d used_words=%d capacity_words=%d leaked_words=%d",
 			ast.Live, ast.LiveWords, ast.FreeBlocks, ast.FreeWords, ast.UsedWords, ast.DataWords,
 			ast.UsedWords-ast.LiveWords-ast.FreeWords)))
+	case "INFO":
+		// The full metrics snapshot, as "name value" lines behind an
+		// "INFO <n>" count header. waitPrior orders it after this
+		// connection's earlier operations, so counters reflect them; STATS
+		// stays as the arena-only legacy view.
+		c.waitPrior()
+		c.push(inlineRequest(s.infoText()))
 	case "SYNC":
 		// The barrier covers everything already queued — including this
 		// connection's earlier operations — so no waitPrior is needed.

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crafty"
 )
@@ -57,6 +58,10 @@ type request struct {
 	remaining atomic.Int32
 	done      chan struct{}
 
+	// t0 is the parse-time stamp for the enqueue→reply latency histogram,
+	// taken and read strictly outside any transaction.
+	t0 time.Time
+
 	// notify, when non-nil, is closed by the connection writer once this
 	// request has been processed in order — the reader's progress barrier
 	// (connReader.waitPrior).
@@ -78,6 +83,7 @@ func newRequest(cmd cmdKind) *request {
 	r.remaining.Store(0)
 	r.done = make(chan struct{})
 	r.notify = nil
+	r.t0 = time.Now()
 	return r
 }
 
@@ -219,6 +225,10 @@ func (w *worker) run() {
 				break drain
 			}
 		}
+		// Drained batch size, recorded between transactions (the Apply below
+		// has not started); the distribution shows how much group-commit
+		// batching the offered load actually achieves.
+		w.srv.obs.drainBatch.Observe(int64(len(items)))
 
 		w.srv.mu.RLock()
 		th := w.srv.threads[w.id]

@@ -20,11 +20,20 @@
 //	craftyrecover -threads 4 -ops 2000 -persist-prob 0.5
 //	craftyrecover -workload kv -ops 2000 -persist-prob 0.5 -seed 7
 //	craftyrecover -workload kv -paranoid
+//	craftyrecover -workload kv -json      # machine-readable report on stdout
+//
+// With -json, the progress prose moves to stderr and stdout carries one JSON
+// object: per-phase recovery wall times (rollback, engine reopen, index
+// reopen), the rollback report, the bounded-vs-full reopen report (kv), and
+// the consistency outcome — so CI and scripts can gate on recovery behaviour
+// without parsing prose.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sync"
@@ -42,14 +51,22 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		checkpoint  = flag.Bool("checkpoint", true, "take an incremental checkpoint mid-churn (kv workload)")
 		paranoid    = flag.Bool("paranoid", false, "recover with the full index verify + arena reconcile even when a checkpoint watermark would bound it (kv workload)")
+		jsonOut     = flag.Bool("json", false, "emit a machine-readable recovery report on stdout (prose moves to stderr)")
 	)
 	flag.Parse()
-	var err error
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = os.Stderr
+	}
+	var (
+		rep recoverReport
+		err error
+	)
 	switch *workload {
 	case "bank":
-		err = runBank(*threads, *ops, *persistProb, *seed)
+		rep, err = runBank(out, *threads, *ops, *persistProb, *seed)
 	case "kv":
-		err = runKV(*ops, *persistProb, *seed, *checkpoint, *paranoid)
+		rep, err = runKV(out, *ops, *persistProb, *seed, *checkpoint, *paranoid)
 	default:
 		err = fmt.Errorf("unknown -workload %q (want bank or kv)", *workload)
 	}
@@ -57,21 +74,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, "craftyrecover:", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		rep.Workload = *workload
+		rep.PersistProb = *persistProb
+		rep.Seed = *seed
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "craftyrecover:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// recoverReport is the -json output: the phase wall times every recovery has,
+// plus the workload-specific sections (omitted when empty).
+type recoverReport struct {
+	Workload    string  `json:"workload"`
+	PersistProb float64 `json:"persist_prob"`
+	Seed        int64   `json:"seed"`
+
+	// Rollback (crafty.Recover): the log scan and undo pass.
+	RollbackNs          int64 `json:"rollback_ns"`
+	ThreadsScanned      int   `json:"threads_scanned"`
+	SequencesFound      int   `json:"sequences_found"`
+	SequencesRolledBack int   `json:"sequences_rolled_back"`
+	WordsRestored       int   `json:"words_restored"`
+
+	// Bank workload: balance conservation.
+	TotalBalance    uint64 `json:"total_balance,omitempty"`
+	ExpectedBalance uint64 `json:"expected_balance,omitempty"`
+
+	// KV workload: the remaining phases and the reopen report.
+	EngineReopenNs int64       `json:"engine_reopen_ns,omitempty"`
+	IndexReopenNs  int64       `json:"index_reopen_ns,omitempty"`
+	Reopen         *reopenJSON `json:"reopen,omitempty"`
+	Entries        uint64      `json:"entries,omitempty"`
+	Arena          *arenaJSON  `json:"arena,omitempty"`
+	Checkpoint     *markJSON   `json:"checkpoint,omitempty"`
+}
+
+// reopenJSON is the machine-readable crafty.KVReopenReport: whether the full
+// verify path ran (and why), which watermark bounded the work, and the shard
+// coverage.
+type reopenJSON struct {
+	FullVerify     bool   `json:"full_verify"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	WatermarkSeq   uint64 `json:"watermark_seq,omitempty"`
+	WatermarkEpoch uint64 `json:"watermark_epoch,omitempty"`
+	VerifiedShards int    `json:"verified_shards"`
+	Shards         int    `json:"shards"`
+}
+
+// arenaJSON is allocator occupancy after recovery; leaked_words must be 0.
+type arenaJSON struct {
+	LiveBlocks  int `json:"live_blocks"`
+	LiveWords   int `json:"live_words"`
+	FreeBlocks  int `json:"free_blocks"`
+	FreeWords   int `json:"free_words"`
+	UsedWords   int `json:"used_words"`
+	DataWords   int `json:"capacity_words"`
+	LeakedWords int `json:"leaked_words"`
+}
+
+// markJSON is the mid-churn checkpoint the kv workload took (if any).
+type markJSON struct {
+	Seq         uint64 `json:"seq"`
+	Epoch       uint64 `json:"epoch"`
+	DirtyShards int    `json:"dirty_shards"`
+	Coalesced   int    `json:"coalesced"`
 }
 
 // printArena reports allocator occupancy; with the crash-recoverable
 // allocator, live + free always accounts for every word below the high-water
 // mark — nothing leaks across recovery.
-func printArena(eng *crafty.Engine) {
+func printArena(out io.Writer, eng *crafty.Engine) {
 	st := eng.Arena().Stats()
-	fmt.Printf("arena: %d live blocks (%d words) + %d free blocks (%d words) = %d of %d words used; leaked %d\n",
+	fmt.Fprintf(out, "arena: %d live blocks (%d words) + %d free blocks (%d words) = %d of %d words used; leaked %d\n",
 		st.Live, st.LiveWords, st.FreeBlocks, st.FreeWords, st.UsedWords, st.DataWords,
 		st.UsedWords-st.LiveWords-st.FreeWords)
 }
 
-func runBank(threads, ops int, persistProb float64, seed int64) error {
+func runBank(out io.Writer, threads, ops int, persistProb float64, seed int64) (recoverReport, error) {
 	const accounts = 64
 	const initial = 1000
+	var rep recoverReport
 
 	heap := crafty.NewHeap(crafty.HeapConfig{
 		Words:            1 << 22,
@@ -80,7 +167,7 @@ func runBank(threads, ops int, persistProb float64, seed int64) error {
 	})
 	eng, err := crafty.New(heap, crafty.Config{})
 	if err != nil {
-		return err
+		return rep, err
 	}
 	layout := eng.Layout()
 
@@ -99,10 +186,10 @@ func runBank(threads, ops int, persistProb float64, seed int64) error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return rep, err
 	}
 
-	fmt.Printf("running %d threads x %d transfers over %d accounts...\n", threads, ops, accounts)
+	fmt.Fprintf(out, "running %d threads x %d transfers over %d accounts...\n", threads, ops, accounts)
 	var wg sync.WaitGroup
 	for g := 0; g < threads; g++ {
 		wg.Add(1)
@@ -126,30 +213,38 @@ func runBank(threads, ops int, persistProb float64, seed int64) error {
 	}
 	wg.Wait()
 
-	fmt.Printf("injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
+	fmt.Fprintf(out, "injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
 	heap.Crash(crafty.NewRandomCrashPolicy(seed, persistProb))
 
 	start := time.Now()
 	report, err := crafty.Recover(heap, layout)
 	if err != nil {
-		return err
+		return rep, err
 	}
-	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words) in %v\n",
-		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored, time.Since(start))
+	rollback := time.Since(start)
+	rep.RollbackNs = rollback.Nanoseconds()
+	rep.ThreadsScanned = report.ThreadsScanned
+	rep.SequencesFound = report.SequencesFound
+	rep.SequencesRolledBack = report.SequencesRolledBack
+	rep.WordsRestored = report.WordsRestored
+	fmt.Fprintf(out, "recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words) in %v\n",
+		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored, rollback)
 
 	var total uint64
 	for i := 0; i < accounts; i++ {
 		total += heap.Load(addrOf(i))
 	}
-	fmt.Printf("total balance after recovery: %d (expected %d)\n", total, accounts*initial)
+	rep.TotalBalance = total
+	rep.ExpectedBalance = accounts * initial
+	fmt.Fprintf(out, "total balance after recovery: %d (expected %d)\n", total, accounts*initial)
 	if total != accounts*initial {
-		return fmt.Errorf("recovered state is inconsistent")
+		return rep, fmt.Errorf("recovered state is inconsistent")
 	}
 
 	// The heap can be reopened and used again.
 	eng2, err := crafty.Reopen(heap, layout, crafty.Config{})
 	if err != nil {
-		return err
+		return rep, err
 	}
 	eng2.AdvanceClock(report.MaxTimestamp)
 	th := eng2.Register()
@@ -158,13 +253,14 @@ func runBank(threads, ops int, persistProb float64, seed int64) error {
 		tx.Store(addrOf(1), tx.Load(addrOf(1))-1)
 		return nil
 	}); err != nil {
-		return err
+		return rep, err
 	}
-	fmt.Println("post-recovery transaction committed; the heap is usable again")
-	return nil
+	fmt.Fprintln(out, "post-recovery transaction committed; the heap is usable again")
+	return rep, nil
 }
 
-func runKV(ops int, persistProb float64, seed int64, checkpoint, paranoid bool) error {
+func runKV(out io.Writer, ops int, persistProb float64, seed int64, checkpoint, paranoid bool) (recoverReport, error) {
+	var rep recoverReport
 	heap := crafty.NewHeap(crafty.HeapConfig{
 		Words:            1 << 22,
 		PersistLatency:   crafty.NoLatency,
@@ -173,18 +269,18 @@ func runKV(ops int, persistProb float64, seed int64, checkpoint, paranoid bool) 
 	cfg := crafty.Config{ArenaWords: 1 << 20}
 	eng, err := crafty.New(heap, cfg)
 	if err != nil {
-		return err
+		return rep, err
 	}
 	layout := eng.Layout()
 	th := eng.Register()
 	store, err := crafty.NewKV(eng, th, crafty.KVConfig{Shards: 8, InitialSlotsPerShard: 64})
 	if err != nil {
-		return err
+		return rep, err
 	}
 	root := store.Root()
 
 	const keys = 256
-	fmt.Printf("churning %d puts/deletes over %d keys...\n", ops, keys)
+	fmt.Fprintf(out, "churning %d puts/deletes over %d keys...\n", ops, keys)
 	rng := rand.New(rand.NewSource(seed))
 	churn := func(n int) error {
 		for i := 0; i < n; i++ {
@@ -203,69 +299,97 @@ func runKV(ops int, persistProb float64, seed int64, checkpoint, paranoid bool) 
 		return nil
 	}
 	if err := churn(ops / 2); err != nil {
-		return err
+		return rep, err
 	}
 	if checkpoint {
 		// Quiesce the thread's log first: a checkpoint's watermark is only
 		// sound over a state no future rollback can touch.
 		if q, ok := any(th).(interface{ SyncDurable() error }); ok {
 			if err := q.SyncDurable(); err != nil {
-				return err
+				return rep, err
 			}
 		}
 		crep, err := store.Checkpoint(eng)
 		if err != nil {
-			return err
+			return rep, err
 		}
-		fmt.Printf("checkpoint at half-churn: seq=%d epoch=%d, verified %d dirty shards, coalesced %d free blocks\n",
+		rep.Checkpoint = &markJSON{Seq: crep.Seq, Epoch: crep.Epoch, DirtyShards: crep.DirtyShards, Coalesced: crep.Coalesced}
+		fmt.Fprintf(out, "checkpoint at half-churn: seq=%d epoch=%d, verified %d dirty shards, coalesced %d free blocks\n",
 			crep.Seq, crep.Epoch, crep.DirtyShards, crep.Coalesced)
 	}
 	if err := churn(ops - ops/2); err != nil {
-		return err
+		return rep, err
 	}
-	printArena(eng)
+	printArena(out, eng)
 
-	fmt.Printf("injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
+	fmt.Fprintf(out, "injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
 	heap.Crash(crafty.NewRandomCrashPolicy(seed, persistProb))
 
 	start := time.Now()
 	report, err := crafty.Recover(heap, layout)
 	if err != nil {
-		return err
+		return rep, err
 	}
-	fmt.Printf("recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words) in %v\n",
-		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored, time.Since(start))
+	rollback := time.Since(start)
+	rep.RollbackNs = rollback.Nanoseconds()
+	rep.ThreadsScanned = report.ThreadsScanned
+	rep.SequencesFound = report.SequencesFound
+	rep.SequencesRolledBack = report.SequencesRolledBack
+	rep.WordsRestored = report.WordsRestored
+	fmt.Fprintf(out, "recovery: scanned %d thread logs, found %d sequences, rolled back %d (restored %d words) in %v\n",
+		report.ThreadsScanned, report.SequencesFound, report.SequencesRolledBack, report.WordsRestored, rollback)
 
 	start = time.Now()
 	eng2, err := crafty.Reopen(heap, layout, cfg)
 	if err != nil {
-		return err
+		return rep, err
 	}
 	eng2.AdvanceClock(report.MaxTimestamp)
-	fmt.Printf("engine reopen (log reattach + arena header scavenge): %v\n", time.Since(start))
+	engineTime := time.Since(start)
+	rep.EngineReopenNs = engineTime.Nanoseconds()
+	fmt.Fprintf(out, "engine reopen (log reattach + arena header scavenge): %v\n", engineTime)
 	start = time.Now()
 	store2, rrep, err := crafty.ReopenKVWith(eng2, root, crafty.KVReopenOptions{Paranoid: paranoid})
 	if err != nil {
-		return err
+		return rep, err
 	}
 	reopenTime := time.Since(start)
+	rep.IndexReopenNs = reopenTime.Nanoseconds()
+	rep.Reopen = &reopenJSON{
+		FullVerify:     rrep.FullVerify,
+		FallbackReason: rrep.FallbackReason,
+		WatermarkSeq:   rrep.WatermarkSeq,
+		WatermarkEpoch: rrep.WatermarkEpoch,
+		VerifiedShards: rrep.VerifiedShards,
+		Shards:         rrep.Shards,
+	}
 	if rrep.FullVerify {
-		fmt.Printf("index reopen: full path (%s), verified %d/%d shards in %v\n",
+		fmt.Fprintf(out, "index reopen: full path (%s), verified %d/%d shards in %v\n",
 			rrep.FallbackReason, rrep.VerifiedShards, rrep.Shards, reopenTime)
 	} else {
-		fmt.Printf("index reopen: bounded by watermark seq=%d epoch=%d, verified %d/%d shards in %v\n",
+		fmt.Fprintf(out, "index reopen: bounded by watermark seq=%d epoch=%d, verified %d/%d shards in %v\n",
 			rrep.WatermarkSeq, rrep.WatermarkEpoch, rrep.VerifiedShards, rrep.Shards, reopenTime)
 	}
 	n, err := store2.Len(eng2.Register())
 	if err != nil {
-		return err
+		return rep, err
 	}
-	fmt.Printf("index verified after recovery: %d live entries\n", n)
-	printArena(eng2)
+	rep.Entries = n
+	fmt.Fprintf(out, "index verified after recovery: %d live entries\n", n)
+	printArena(out, eng2)
 	st := eng2.Arena().Stats()
-	if st.LiveWords+st.FreeWords != st.UsedWords {
-		return fmt.Errorf("arena leaked %d words across recovery", st.UsedWords-st.LiveWords-st.FreeWords)
+	rep.Arena = &arenaJSON{
+		LiveBlocks:  st.Live,
+		LiveWords:   st.LiveWords,
+		FreeBlocks:  st.FreeBlocks,
+		FreeWords:   st.FreeWords,
+		UsedWords:   st.UsedWords,
+		DataWords:   st.DataWords,
+		LeakedWords: st.UsedWords - st.LiveWords - st.FreeWords,
 	}
-	fmt.Println("allocator reconciled with the index: zero leaked words; the store is usable again")
-	return nil
+	if st.LiveWords+st.FreeWords != st.UsedWords {
+		return rep, fmt.Errorf("arena leaked %d words across recovery", st.UsedWords-st.LiveWords-st.FreeWords)
+	}
+	fmt.Fprintln(out, "allocator reconciled with the index: zero leaked words; the store is usable again")
+	return rep, nil
 }

@@ -141,6 +141,13 @@ const (
 // Engine is a Crafty persistent transaction engine.
 type Engine = core.Engine
 
+// EngineMetrics is the engine's off-path metrics block (Engine.Metrics):
+// SGL entries/reads and dwell times, log wraps, undo-log half swaps, and
+// forced empty transactions. Counters are stamped strictly outside
+// transaction bodies — see DESIGN.md §11 — and survive engine replacement
+// across crash recovery via Engine.AdoptMetrics.
+type EngineMetrics = core.Metrics
+
 // Layout records where an engine's persistent metadata lives on its heap;
 // keep it with the heap so the logs can be found again after a crash.
 type Layout = core.Layout

@@ -45,6 +45,7 @@ func (t *Thread) ensureLogSpace() {
 	if t.log.needsCheck(half) {
 		t.checkOverwrite(half)
 		t.log.markChecked(half)
+		t.eng.metrics.HalfSwaps.Inc(t.slot)
 	}
 }
 
@@ -55,6 +56,7 @@ func (t *Thread) ensureLogSpace() {
 func (t *Thread) makeRoom() {
 	t.checkOverwrite(0)
 	t.log.wrap(true)
+	t.eng.metrics.LogWraps.Inc(t.slot)
 }
 
 // checkOverwrite blocks until every entry in the given half of the log is
@@ -214,6 +216,11 @@ func (u *Thread) forceEmpty(flusher *nvm.Flusher, ts uint64) bool {
 			return false
 		}
 		u.log.wrapLocked(true)
+		u.eng.metrics.LogWraps.Inc(u.slot)
 	}
-	return u.log.appendEmptyLoggedLocked(flusher, ts)
+	ok := u.log.appendEmptyLoggedLocked(flusher, ts)
+	if ok {
+		u.eng.metrics.ForcedEmpties.Inc(u.slot)
+	}
+	return ok
 }

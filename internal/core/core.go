@@ -194,6 +194,11 @@ type Engine struct {
 	// fast path (phaseYield).
 	workers atomic.Int32
 
+	// metrics is the engine's off-path instrument block (see metrics.go);
+	// never nil. AdoptMetrics swaps it to carry counters across engine
+	// incarnations.
+	metrics *Metrics
+
 	mu      sync.Mutex
 	threads []*Thread
 	closed  bool
@@ -258,6 +263,7 @@ func Open(heap *nvm.Heap, layout Layout, cfg Config) (*Engine, error) {
 		layout:          layout,
 		gLastRedoTSAddr: layout.GlobalsBase + offGLastRedoTS,
 		sglAddr:         layout.GlobalsBase + offSGL,
+		metrics:         new(Metrics),
 	}
 	if layout.ArenaWords > 0 {
 		e.arena = alloc.NewArena(heap, layout.ArenaBase, layout.ArenaWords)

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"crafty/internal/obstest"
+)
+
+// TestObsOverheadSmoke (OBS_SMOKE=1) reruns the instrumented read-path
+// microbenchmarks and gates them against the committed BENCH_obs.json
+// baselines: allocations must match exactly (they are deterministic across
+// machines), ns/op must stay within the cross-machine noise factor. The
+// ≤10% regression acceptance was verified on the recording machine; this
+// smoke catches gross regressions — an instrument leaking onto a hot path
+// shows up as allocations or a multiple, not a few percent.
+func TestObsOverheadSmoke(t *testing.T) {
+	obstest.Gate(t, map[string]func(*testing.B){
+		"core/ReadPathAtomic":     BenchmarkReadPathAtomic,
+		"core/ReadPathAtomicRead": BenchmarkReadPathAtomicRead,
+	})
+}

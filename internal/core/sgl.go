@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"crafty/internal/htm"
 	"crafty/internal/nvm"
@@ -75,6 +76,12 @@ func (t *Thread) runSGL(body func(tx ptm.Tx) error, lockHeld bool) error {
 		// that validated before we took the lock (on real hardware a commit
 		// is instantaneous, so this window does not exist).
 		t.eng.hw.QuiesceCommitters()
+		// Off-path stamping: the SGL fallback runs no speculative hardware
+		// transaction around these points, so time.Now and the counter are
+		// free of write-set concerns here.
+		t.eng.metrics.SGLEntries.Inc(t.slot)
+		t0 := time.Now()
+		defer t.eng.metrics.SGLDwellNs.ObserveSince(t0)
 		defer t.eng.hw.NonTxStore(t.eng.sglAddr, 0)
 	}
 	t.prepareRetry()
@@ -281,4 +288,5 @@ func (t *Thread) ensureLogRoom(needed int) {
 	}
 	t.checkOverwrite(0)
 	t.log.wrap(true)
+	t.eng.metrics.LogWraps.Inc(t.slot)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"crafty/internal/alloc"
 	"crafty/internal/htm"
@@ -434,6 +435,9 @@ func (t *Thread) readSGL(body func(tx ptm.Tx) error) error {
 	for !t.eng.hw.NonTxCAS(t.eng.sglAddr, 0, 1) {
 	}
 	t.eng.hw.QuiesceCommitters()
+	t.eng.metrics.SGLReads.Inc(t.slot)
+	t0 := time.Now()
+	defer t.eng.metrics.SGLDwellNs.ObserveSince(t0)
 	defer t.eng.hw.NonTxStore(t.eng.sglAddr, 0)
 	t.ro = roTx{heap: t.eng.heap}
 	if err := body(&t.ro); err != nil {

@@ -150,6 +150,12 @@ type applyState struct {
 	opErr   error // its error
 	cur     int   // op index for the per-op fallback bodies
 
+	// Metrics staging: the caller's counter stripe, and the rehash-step mask
+	// the per-op fallback bodies stage for the post-commit fold (bodies may
+	// re-execute; instruments are only touched after Atomic returns).
+	stripe   int
+	lastStep rehashStep
+
 	// Write-combining scratch: for each distinct key seen while walking the
 	// group backward, the op index of its nearest later member.
 	seenH   []uint64
@@ -198,6 +204,7 @@ func (s *Store) Apply(th ptm.Thread, ops []Op, res []OpResult, dst []byte) ([]Op
 	}
 	a := applyPool.Get().(*applyState)
 	a.s, a.ops, a.dst = s, ops, dst
+	a.stripe = stripeOf(th)
 
 	for i := range ops {
 		res = append(res, OpResult{hash: hashKey(ops[i].Key), off: -1})
@@ -322,6 +329,9 @@ func (a *applyState) commitGroup(th ptm.Thread) {
 		err = th.AtomicRead(a.groupBody)
 	}
 	if err == nil {
+		// Off-path stamp: the group's transaction has committed.
+		a.s.ms.ApplyGroups.Inc(a.stripe)
+		a.s.ms.ApplyGroupOps.Observe(int64(len(a.members)))
 		for _, i := range a.members {
 			a.res[i].done = true
 			if a.ops[i].Kind == OpPut {
@@ -331,9 +341,11 @@ func (a *applyState) commitGroup(th ptm.Thread) {
 		return
 	}
 	if errors.Is(err, errGroupFallback) {
+		a.s.ms.ApplyFallbacks.Inc(a.stripe)
 		a.fallback(th)
 		return
 	}
+	a.s.ms.ApplyGroupAborts.Inc(a.stripe)
 	// The group's transaction failed: all-or-nothing, typed per op.
 	for k, i := range a.members {
 		a.res[i].done = true
@@ -417,6 +429,9 @@ func (a *applyState) fallback(th ptm.Thread) {
 			err = th.AtomicRead(a.readBody)
 		} else {
 			err = th.Atomic(a.writeBody)
+			if err == nil {
+				a.s.ms.noteRehash(a.stripe, a.lastStep)
+			}
 		}
 		r := &a.res[i]
 		r.done = true
@@ -434,9 +449,11 @@ func (a *applyState) fallback(th ptm.Thread) {
 func (a *applyState) runWriteOp(tx ptm.Tx) error {
 	op := &a.ops[a.cur]
 	if op.Kind == OpPut {
-		return a.s.PutTx(tx, op.Key, op.Value)
+		var err error
+		a.lastStep, err = a.s.putTxStep(tx, op.Key, op.Value)
+		return err
 	}
-	a.res[a.cur].Found = a.s.DeleteTx(tx, op.Key)
+	a.res[a.cur].Found, a.lastStep = a.s.deleteTxStep(tx, op.Key)
 	return nil
 }
 

@@ -26,6 +26,7 @@ package kv
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"crafty/internal/alloc"
@@ -153,6 +154,11 @@ type Store struct {
 	// persists a new watermark, so "stamp > watermark epoch" is exactly
 	// "mutated since the last checkpoint".
 	epoch atomic.Uint64
+
+	// ms is the store's off-path instrument block (see metrics.go); never
+	// nil. AdoptMetrics swaps it to carry counters across store
+	// incarnations.
+	ms *Metrics
 }
 
 // arenaOf returns eng's allocation arena if the engine exposes one (every
@@ -188,7 +194,7 @@ func Create(eng ptm.Engine, th ptm.Thread, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kv: carving root region: %w", err)
 	}
-	s := &Store{root: root, shards: cfg.Shards, txBudget: ptm.TxWriteBudgetOf(eng, defaultTxBudget)}
+	s := &Store{root: root, shards: cfg.Shards, txBudget: ptm.TxWriteBudgetOf(eng, defaultTxBudget), ms: new(Metrics)}
 	s.epoch.Store(1)
 	for sh := 0; sh < cfg.Shards; sh++ {
 		hdr := s.shardHeader(sh)
@@ -443,13 +449,24 @@ func (s *Store) GetTx(tx ptm.Tx, key []byte, dst []byte) ([]byte, bool) {
 // exactly once); inserts claim a slot and bump the shard's counters. Each
 // call also advances the shard's incremental rehash by one bounded batch.
 func (s *Store) PutTx(tx ptm.Tx, key, value []byte) error {
+	// The staged rehash-step mask is discarded: an externally composed
+	// transaction gives the store no post-commit fold point, and metrics must
+	// never be stamped from inside the body itself.
+	_, err := s.putTxStep(tx, key, value)
+	return err
+}
+
+// putTxStep is PutTx returning the staged rehash-step mask for callers that
+// own the enclosing transaction (Put, the Apply fallback) and can fold it
+// after commit.
+func (s *Store) putTxStep(tx ptm.Tx, key, value []byte) (rehashStep, error) {
 	if err := validatePut(key, value); err != nil {
-		return err
+		return 0, err
 	}
 	h := hashKey(key)
 	hdr := s.shardHeader(s.shardOf(h))
-	s.stepRehash(tx, hdr)
-	return s.putSlot(tx, hdr, h, key, value)
+	step := s.stepRehash(tx, hdr)
+	return step, s.putSlot(tx, hdr, h, key, value)
 }
 
 // validatePut enforces the header-packing limits shared by the per-op
@@ -521,10 +538,17 @@ func (s *Store) putSlot(tx ptm.Tx, hdr nvm.Addr, h uint64, key, value []byte) er
 // was present. The slot becomes a tombstone (reclaimed by the next rehash)
 // and the entry's block is freed at commit.
 func (s *Store) DeleteTx(tx ptm.Tx, key []byte) bool {
+	found, _ := s.deleteTxStep(tx, key)
+	return found
+}
+
+// deleteTxStep is DeleteTx returning the staged rehash-step mask for callers
+// that own the enclosing transaction and can fold it after commit.
+func (s *Store) deleteTxStep(tx ptm.Tx, key []byte) (bool, rehashStep) {
 	h := hashKey(key)
 	hdr := s.shardHeader(s.shardOf(h))
-	s.stepRehash(tx, hdr)
-	return s.deleteSlot(tx, hdr, h, key)
+	step := s.stepRehash(tx, hdr)
+	return s.deleteSlot(tx, hdr, h, key), step
 }
 
 // deleteSlot is the shard-local delete: DeleteTx after the rehash step,
@@ -670,18 +694,69 @@ func (s *Store) MultiGet(th ptm.Thread, keys [][]byte, dst []byte, vals [][]byte
 	return dst, vals, nil
 }
 
+// opCall carries one Put/Delete invocation's arguments and results through
+// the transaction body. The structs are pooled and the bodies bound once at
+// pool time: a closure capturing the staged rehash mask by reference would
+// cost two heap allocations per op (the closure plus the boxed mask), and
+// these wrappers are the per-op hot path.
+type opCall struct {
+	s          *Store
+	key, value []byte
+	step       rehashStep
+	found      bool
+	put        func(ptm.Tx) error
+	del        func(ptm.Tx) error
+}
+
+var opCallPool = sync.Pool{New: func() any {
+	c := new(opCall)
+	c.put = c.runPut
+	c.del = c.runDel
+	return c
+}}
+
+func (c *opCall) runPut(tx ptm.Tx) error {
+	// Each (re-)execution overwrites step; the fold in Put sees the
+	// committed execution's mask.
+	var err error
+	c.step, err = c.s.putTxStep(tx, c.key, c.value)
+	return err
+}
+
+func (c *opCall) runDel(tx ptm.Tx) error {
+	c.found, c.step = c.s.deleteTxStep(tx, c.key)
+	return nil
+}
+
+// release clears the argument references (the pool must not pin caller
+// buffers) and returns the struct.
+func (c *opCall) release() {
+	c.s, c.key, c.value = nil, nil, nil
+	opCallPool.Put(c)
+}
+
 // Put runs an insert-or-update transaction.
 func (s *Store) Put(th ptm.Thread, key, value []byte) error {
-	return th.Atomic(func(tx ptm.Tx) error { return s.PutTx(tx, key, value) })
+	c := opCallPool.Get().(*opCall)
+	c.s, c.key, c.value, c.step = s, key, value, 0
+	err := th.Atomic(c.put)
+	if err == nil {
+		s.ms.noteRehash(stripeOf(th), c.step)
+	}
+	c.release()
+	return err
 }
 
 // Delete runs a delete transaction, reporting whether the key was present.
 func (s *Store) Delete(th ptm.Thread, key []byte) (bool, error) {
-	var ok bool
-	err := th.Atomic(func(tx ptm.Tx) error {
-		ok = s.DeleteTx(tx, key)
-		return nil
-	})
+	c := opCallPool.Get().(*opCall)
+	c.s, c.key, c.step, c.found = s, key, 0, false
+	err := th.Atomic(c.del)
+	if err == nil {
+		s.ms.noteRehash(stripeOf(th), c.step)
+	}
+	ok := c.found
+	c.release()
 	return ok, err
 }
 

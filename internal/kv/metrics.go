@@ -1,0 +1,125 @@
+package kv
+
+import (
+	"crafty/internal/nvm"
+	"crafty/internal/obs"
+	"crafty/internal/ptm"
+)
+
+// rehashStep is a bitmask of what one stepRehash call did. The step happens
+// inside a transaction body, but the mask is folded into the metrics only
+// after the enclosing transaction commits (the body may re-execute, and
+// instrument words must never be touched inside an HTM region), so callers
+// reset their staging mask at body entry and publish once, off-path.
+type rehashStep uint8
+
+const (
+	stepZeroBatch    rehashStep = 1 << iota // zeroed one batch of the pending table
+	stepTableSwap                           // zeroing finished; pending table became active
+	stepMigrateBatch                        // migrated one batch of old-table entries
+	stepRehashDone                          // migration finished; old table freed
+)
+
+// Metrics holds the store's off-path instruments. Every increment happens
+// after a transaction returns (commitGroup, the Put/Delete wrappers, the
+// Apply fallback loop) or in plainly non-transactional code (Checkpoint), so
+// the instrumentation follows the same discipline as the engine's own
+// outcome counters. Stripes are engine thread slots where available.
+//
+// A store allocates its own Metrics; servers that replace stores across
+// crash/recovery cycles carry totals over with AdoptMetrics.
+type Metrics struct {
+	// Group execution: committed shard-group transactions, their size
+	// distribution (ops per group, pre-combining), groups re-run per-op
+	// because their shard was mid-rehash or near its load threshold, and
+	// groups whose transaction failed outright.
+	ApplyGroups      obs.Counter
+	ApplyGroupOps    obs.Histogram
+	ApplyFallbacks   obs.Counter
+	ApplyGroupAborts obs.Counter
+
+	// Rehash progress, folded post-commit from the step masks the per-op
+	// write paths stage: batches zeroed, table swaps, migration batches,
+	// and completed rehashes.
+	RehashZeroBatches    obs.Counter
+	RehashSwaps          obs.Counter
+	RehashMigrateBatches obs.Counter
+	RehashesCompleted    obs.Counter
+
+	// Checkpoints: count, wall time, and verified dirty shards.
+	Checkpoints      obs.Counter
+	CheckpointNs     obs.Histogram
+	CheckpointShards obs.Counter
+}
+
+// RegisterInto publishes the metrics under prefix (e.g. "kv") in r.
+func (m *Metrics) RegisterInto(r *obs.Registry, prefix string) {
+	r.RegisterCounter(prefix+".apply.groups", &m.ApplyGroups)
+	r.RegisterHistogram(prefix+".apply.group_ops", &m.ApplyGroupOps)
+	r.RegisterCounter(prefix+".apply.fallbacks", &m.ApplyFallbacks)
+	r.RegisterCounter(prefix+".apply.group_aborts", &m.ApplyGroupAborts)
+	r.RegisterCounter(prefix+".rehash.zero_batches", &m.RehashZeroBatches)
+	r.RegisterCounter(prefix+".rehash.swaps", &m.RehashSwaps)
+	r.RegisterCounter(prefix+".rehash.migrate_batches", &m.RehashMigrateBatches)
+	r.RegisterCounter(prefix+".rehash.completed", &m.RehashesCompleted)
+	r.RegisterCounter(prefix+".checkpoints", &m.Checkpoints)
+	r.RegisterHistogram(prefix+".checkpoint_ns", &m.CheckpointNs)
+	r.RegisterCounter(prefix+".checkpoint_shards", &m.CheckpointShards)
+}
+
+// noteRehash folds one committed transaction's staged step mask.
+func (m *Metrics) noteRehash(stripe int, step rehashStep) {
+	if step == 0 {
+		return
+	}
+	if step&stepZeroBatch != 0 {
+		m.RehashZeroBatches.Inc(stripe)
+	}
+	if step&stepTableSwap != 0 {
+		m.RehashSwaps.Inc(stripe)
+	}
+	if step&stepMigrateBatch != 0 {
+		m.RehashMigrateBatches.Inc(stripe)
+	}
+	if step&stepRehashDone != 0 {
+		m.RehashesCompleted.Inc(stripe)
+	}
+}
+
+// Metrics returns the store's instrument block.
+func (s *Store) Metrics() *Metrics { return s.ms }
+
+// AdoptMetrics makes the store record into m instead of its own block, so
+// counters survive a store replacement (crash/recovery reopen). Call it
+// before the store starts serving.
+func (s *Store) AdoptMetrics(m *Metrics) {
+	if m != nil {
+		s.ms = m
+	}
+}
+
+// stripeOf maps a thread handle to a counter stripe: engine threads expose
+// their slot; anything else shares stripe 0 (such engines serialize globally
+// anyway).
+func stripeOf(th ptm.Thread) int {
+	if s, ok := th.(interface{ Slot() int }); ok {
+		return s.Slot()
+	}
+	return 0
+}
+
+// RehashStates counts shards currently in each rehash state with plain
+// (non-transactional) header reads — an observability-only racy peek, taken
+// at snapshot time so rehash activity is visible without any hot-path cost.
+func (s *Store) RehashStates(heap *nvm.Heap) (zeroing, migrating int) {
+	for sh := 0; sh < s.shards; sh++ {
+		hdr := s.shardHeader(sh)
+		if heap.Load(hdr+shPending) != 0 {
+			zeroing++
+		}
+		if heap.Load(hdr+shOld) != 0 {
+			migrating++
+		}
+	}
+	return zeroing, migrating
+}

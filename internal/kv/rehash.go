@@ -55,21 +55,24 @@ func (s *Store) maybeStartRehash(tx ptm.Tx, hdr nvm.Addr, used, slots uint64) {
 
 // stepRehash advances the shard's rehash, if one is in progress, by one
 // bounded batch. Mutating operations call it first, so rehash progress rides
-// on the workload's own transactions.
-func (s *Store) stepRehash(tx ptm.Tx, hdr nvm.Addr) {
+// on the workload's own transactions. The returned mask describes what the
+// step did; it is volatile staging for post-commit metrics (the body may
+// re-execute, so callers fold it only after their transaction commits) and
+// may be discarded by callers with no off-path fold point.
+func (s *Store) stepRehash(tx ptm.Tx, hdr nvm.Addr) rehashStep {
 	if pending := nvm.Addr(tx.Load(hdr + shPending)); pending != nvm.NilAddr {
-		s.stepZeroing(tx, hdr, pending)
-		return
+		return s.stepZeroing(tx, hdr, pending)
 	}
 	if old := nvm.Addr(tx.Load(hdr + shOld)); old != nvm.NilAddr {
-		s.stepMigration(tx, hdr, old)
+		return s.stepMigration(tx, hdr, old)
 	}
+	return 0
 }
 
 // stepZeroing zeroes the next batch of the pending table; when it completes,
 // the pending table becomes the active one and the previous active table
 // becomes the migration source.
-func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) {
+func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) rehashStep {
 	s.stampShard(tx, hdr)
 	pendingWords := tx.Load(hdr+shPendingSlots) * slotWords
 	cursor := tx.Load(hdr + shZeroCursor)
@@ -82,7 +85,7 @@ func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) {
 	}
 	tx.Store(hdr+shZeroCursor, end)
 	if end < pendingWords {
-		return
+		return stepZeroBatch
 	}
 	// Swap: the zeroed table becomes active; begin migration.
 	tx.Store(hdr+shOld, tx.Load(hdr+shTable))
@@ -94,11 +97,12 @@ func (s *Store) stepZeroing(tx ptm.Tx, hdr, pending nvm.Addr) {
 	tx.Store(hdr+shZeroCursor, 0)
 	tx.Store(hdr+shUsed, 0)
 	tx.Store(hdr+shMigrate, 0)
+	return stepZeroBatch | stepTableSwap
 }
 
 // stepMigration moves up to migrateBatch live entries from the old table into
 // the active one, then frees the old table once the cursor passes its end.
-func (s *Store) stepMigration(tx ptm.Tx, hdr, old nvm.Addr) {
+func (s *Store) stepMigration(tx ptm.Tx, hdr, old nvm.Addr) rehashStep {
 	s.stampShard(tx, hdr)
 	oldSlots := tx.Load(hdr + shOldSlots)
 	table := nvm.Addr(tx.Load(hdr + shTable))
@@ -123,7 +127,9 @@ func (s *Store) stepMigration(tx ptm.Tx, hdr, old nvm.Addr) {
 		tx.Store(hdr+shOldSlots, 0)
 		tx.Store(hdr+shMigrate, 0)
 		tx.Free(old)
+		return stepMigrateBatch | stepRehashDone
 	}
+	return stepMigrateBatch
 }
 
 // reinsert places a migrated entry (tag fingerprint + block address) into the

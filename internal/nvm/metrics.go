@@ -1,0 +1,15 @@
+package nvm
+
+import "crafty/internal/obs"
+
+// RegisterMetrics publishes the heap's persist-operation counters under
+// prefix (e.g. "nvm") in r. The heap already maintains these atomically on
+// its own hot paths; registering lazy Func entries merges them at snapshot
+// time instead of double-counting into a second instrument ("stamp off-path,
+// merge on read").
+func (h *Heap) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Func(prefix+".flushed_lines", func() int64 { return int64(h.flushes.Load()) })
+	r.Func(prefix+".drains", func() int64 { return int64(h.drains.Load()) })
+	r.Func(prefix+".fences", func() int64 { return int64(h.fences.Load()) })
+	r.Func(prefix+".crashes", func() int64 { return int64(h.crashes.Load()) })
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterStripes checks increments on different stripes merge, and that
+// out-of-range stripe hints mask down instead of faulting.
+func TestCounterStripes(t *testing.T) {
+	var c Counter
+	for s := 0; s < 3*Stripes; s++ {
+		c.Add(s, uint64(s+1))
+	}
+	var want uint64
+	for s := 0; s < 3*Stripes; s++ {
+		want += uint64(s + 1)
+	}
+	if got := c.Value(); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotUnderConcurrentIncrement hammers every instrument kind from
+// many goroutines while snapshots run concurrently; under -race this is the
+// race-cleanliness proof, and the final snapshot must account for every
+// increment exactly once.
+func TestSnapshotUnderConcurrentIncrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	r.Func("f", func() int64 { return 42 })
+	r.Sampler(func(emit func(string, int64)) { emit("s", 7) })
+
+	const workers = 8
+	const perWorker = 10000
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() { // concurrent snapshot reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Snapshot() {
+				if s.Name == "f" && s.Value != 42 {
+					t.Errorf("func sample = %d", s.Value)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(w)
+				g.Add(1)
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	hs := h.Snapshot()
+	if hs.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, workers*perWorker)
+	}
+}
+
+// TestHistogramBuckets pins the log₂ bucketing: zero lands in bucket 0,
+// powers of two on their boundary, and quantiles resolve to bucket upper
+// bounds.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)    // [1,2) → bucket 1
+	h.Observe(2)    // [2,4) → bucket 2
+	h.Observe(3)    // [2,4) → bucket 2
+	h.Observe(1024) // [1024,2048) → bucket 11
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 0+1+2+3+1024 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 11: 1} {
+		if s.Buckets[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Buckets[i], want)
+		}
+	}
+	if got := s.Max(); got != 2048 {
+		t.Fatalf("max = %d, want 2048", got)
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %d, want 4", got)
+	}
+	if got := s.Quantile(0.99); got != 2048 {
+		t.Fatalf("p99 = %d, want 2048", got)
+	}
+	var empty Histogram
+	es := empty.Snapshot()
+	if es.Quantile(0.99) != 0 || es.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestObserveN checks batched observations count n times.
+func TestObserveN(t *testing.T) {
+	var h Histogram
+	h.ObserveN(8, 3)
+	h.ObserveN(5, 0)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 24 {
+		t.Fatalf("count=%d sum=%d, want 3/24", s.Count, s.Sum)
+	}
+}
+
+// TestHotPathAllocs pins every hot-path instrument operation at zero
+// allocations — the package's core contract.
+func TestHotPathAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc(3)
+		c.Add(5, 2)
+		g.Set(9)
+		g.Add(-1)
+		h.Observe(1234)
+		h.ObserveN(77, 4)
+		h.ObserveSince(t0)
+	}); n != 0 {
+		t.Fatalf("hot-path instrument ops allocate: %v allocs/run", n)
+	}
+}
+
+// TestRegistryOutput checks the JSON and text renderings agree and that the
+// JSON parses.
+func TestRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(0, 3)
+	r.Gauge("b.gauge").Set(-4)
+	h := r.Histogram("c.lat_ns")
+	h.Observe(100)
+	r.Func("d.func", func() int64 { return 11 })
+
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(jb.Bytes(), &m); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, jb.String())
+	}
+	if m["a.count"] != 3 || m["b.gauge"] != -4 || m["d.func"] != 11 {
+		t.Fatalf("bad JSON values: %v", m)
+	}
+	if m["c.lat_ns.count"] != 1 || m["c.lat_ns.p50"] != 128 {
+		t.Fatalf("bad histogram expansion: %v", m)
+	}
+
+	var tb bytes.Buffer
+	if err := r.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != len(m) {
+		t.Fatalf("text lines %d != json keys %d", len(lines), len(m))
+	}
+	for _, line := range lines {
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("bad text line %q", line)
+		}
+	}
+}
+
+// TestDuplicateNamePanics pins registration-time name collisions as loud
+// failures, not silent shadowing.
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r.Counter("x")
+}

@@ -1,0 +1,80 @@
+// Package obstest is the observability overhead smoke: it reruns
+// instrumented hot-path microbenchmarks and gates them against the
+// committed baselines in BENCH_obs.json. Allocation counts are
+// deterministic across machines and gated exactly — an instrument that
+// allocates on a hot path fails here on any runner. Wall-clock is gated
+// with a cross-machine noise factor; the ≤10% regression acceptance was
+// verified on the recording machine and is documented in the baseline
+// file, while CI only needs to catch gross regressions (a counter inside a
+// transaction body shows up as a multiple, not a few percent).
+package obstest
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Baseline is one benchmark's committed record: the pre-instrumentation
+// number, the post-instrumentation number on the same machine, and the
+// allowed allocations per op.
+type Baseline struct {
+	BeforeNsOp float64 `json:"before_ns_op"`
+	AfterNsOp  float64 `json:"after_ns_op"`
+	AllocsOp   int64   `json:"allocs_op"`
+}
+
+// File is the BENCH_obs.json schema.
+type File struct {
+	Recorded   string              `json:"recorded"`
+	Go         string              `json:"go"`
+	Note       string              `json:"note"`
+	Benchmarks map[string]Baseline `json:"benchmarks"`
+}
+
+// NoiseFactor bounds ns/op relative to the recorded after-number when the
+// smoke runs on a different machine (CI runners differ from the recording
+// machine; same spirit as the recovery smoke's 2× gate).
+const NoiseFactor = 2.5
+
+// Gate runs each benchmark and fails the test if its allocations exceed the
+// baseline or its ns/op exceeds NoiseFactor times the recorded number.
+// Skipped unless OBS_SMOKE=1; OBS_BASELINE names the baseline file.
+func Gate(t *testing.T, benches map[string]func(*testing.B)) {
+	t.Helper()
+	if os.Getenv("OBS_SMOKE") == "" {
+		t.Skip("set OBS_SMOKE=1 (and OBS_BASELINE=/path/to/BENCH_obs.json) to run the observability overhead smoke")
+	}
+	path := os.Getenv("OBS_BASELINE")
+	if path == "" {
+		t.Fatal("OBS_SMOKE=1 requires OBS_BASELINE to point at BENCH_obs.json")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	for name, fn := range benches {
+		base, ok := f.Benchmarks[name]
+		if !ok {
+			t.Errorf("%s: no baseline in %s", name, path)
+			continue
+		}
+		r := testing.Benchmark(fn)
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		allocs := r.AllocsPerOp()
+		t.Logf("%s: %.1f ns/op, %d allocs/op (baseline %.1f ns/op, %d allocs/op)",
+			name, nsOp, allocs, base.AfterNsOp, base.AllocsOp)
+		if allocs > base.AllocsOp {
+			t.Errorf("%s: %d allocs/op, baseline %d — an instrument is allocating on a hot path",
+				name, allocs, base.AllocsOp)
+		}
+		if limit := base.AfterNsOp * NoiseFactor; nsOp > limit {
+			t.Errorf("%s: %.1f ns/op exceeds %.1f (baseline %.1f × noise factor %.1f)",
+				name, nsOp, limit, base.AfterNsOp, NoiseFactor)
+		}
+	}
+}

@@ -53,6 +53,25 @@ func (o Outcome) String() string {
 	}
 }
 
+// MetricKey returns the outcome's snake_case label, used for metric names
+// (core.outcomes.<key>) and machine-readable benchmark output.
+func (o Outcome) MetricKey() string {
+	switch o {
+	case OutcomeHTM:
+		return "non_crafty"
+	case OutcomeReadOnly:
+		return "read_only"
+	case OutcomeRedo:
+		return "redo"
+	case OutcomeValidate:
+		return "validate"
+	case OutcomeSGL:
+		return "sgl"
+	default:
+		return fmt.Sprintf("outcome_%d", uint8(o))
+	}
+}
+
 // Stats aggregates the counters the evaluation reports: how persistent
 // transactions completed, how the underlying hardware transactions fared, and
 // the write volume used to compute Table 1 (writes per transaction).

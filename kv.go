@@ -19,6 +19,13 @@ type KVConfig = kv.Config
 // KVVerifyReport summarizes a key-value index verification pass.
 type KVVerifyReport = kv.VerifyReport
 
+// KVMetrics is the store's off-path metrics block (KV.Metrics): group-commit
+// outcomes and sizes, incremental-rehash step counts, and checkpoint
+// durations. Counters are folded in only after the enclosing transaction
+// commits and survive store replacement across crash recovery via
+// KV.AdoptMetrics.
+type KVMetrics = kv.Metrics
+
 // NewKV creates a key-value store on the engine's heap. The engine must have
 // been built with a non-zero Config.ArenaWords (the store carves its entry
 // blocks and tables from the allocation arena). Keep the returned store's
