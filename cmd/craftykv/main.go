@@ -53,7 +53,18 @@
 //	CRASH                      -> OK rolled_back=<n> entries=<n>
 //	                              verified_shards=<n> shards=<n>
 //	                              full_verify=<bool>
+//	PROMOTE                    -> OK gen=<n> seq=<n> (replica role only:
+//	                              stop following the primary, checkpoint,
+//	                              start accepting writes — the failover
+//	                              command; see repl.go and DESIGN.md §12)
+//	REPLINFO                   -> one-line replication summary (role,
+//	                              generation, stream position, lag)
 //	QUIT                       -> BYE
+//
+// With -repl-listen the server additionally streams its group commits to
+// replicas (repl.go); with -replica-of it follows a primary and refuses
+// client mutations until PROMOTE. Under -repl-sync, a SYNC reply further
+// means the replica has durably acknowledged everything the barrier covers.
 //
 // MPUT/MDEL operations — like any same-shard operations queued by concurrent
 // connections — share group commits; an MPUT's keys may span shards, in
@@ -90,22 +101,48 @@ func main() {
 		paranoid    = flag.Bool("paranoid", false, "recover with the full index verify + arena reconcile even when a checkpoint watermark would bound it")
 		metricsAddr = flag.String("metrics", "", "HTTP listen address for the metrics snapshot (/metrics) and pprof (/debug/pprof/); empty disables")
 		metricsLog  = flag.Duration("metrics-log", 0, "periodic one-line metrics log cadence (0 disables)")
+		connTimeout = flag.Duration("conn-timeout", 0, "per-connection idle/stall bound: reads and flushes that sit longer than this close the connection (0 disables)")
+		maxConns    = flag.Int("max-conns", 0, "client connection limit; excess connections get ERR too many connections (0 disables)")
+		replListen  = flag.String("repl-listen", "", "TCP listen address for the replication stream (primary role); empty disables")
+		replicaOf   = flag.String("replica-of", "", "primary's -repl-listen address to replicate from (replica role: writes refused until PROMOTE)")
+		replSync    = flag.Bool("repl-sync", false, "SYNC waits for a replica's durable acknowledgement (acked writes survive primary loss)")
+		replTimeout = flag.Duration("repl-sync-timeout", 5*time.Second, "how long a -repl-sync SYNC waits for the replica's durable ack before failing")
+		replLogCap  = flag.Int("repl-log", 4096, "commit groups retained for replica catch-up; replicas that fall further behind resync via snapshot")
 	)
 	flag.Parse()
 
 	srv, err := newServer(config{
-		Shards:      *shards,
-		Slots:       *slots,
-		HeapWords:   *heapWords,
-		ArenaWords:  *arenaWords,
-		Pool:        *pool,
-		Drain:       *drain,
-		Queue:       *queue,
-		PersistProb: *persistProb,
-		Paranoid:    *paranoid,
+		Shards:          *shards,
+		Slots:           *slots,
+		HeapWords:       *heapWords,
+		ArenaWords:      *arenaWords,
+		Pool:            *pool,
+		Drain:           *drain,
+		Queue:           *queue,
+		PersistProb:     *persistProb,
+		Paranoid:        *paranoid,
+		ConnTimeout:     *connTimeout,
+		MaxConns:        *maxConns,
+		ReplListen:      *replListen,
+		ReplicaOf:       *replicaOf,
+		ReplSync:        *replSync,
+		ReplSyncTimeout: *replTimeout,
+		ReplLogCap:      *replLogCap,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *replListen != "" {
+		rl, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.startPrimary(rl)
+		log.Printf("craftykv: replication stream on %s", rl.Addr())
+	}
+	if *replicaOf != "" {
+		srv.startReplica(*replicaOf, nil)
+		log.Printf("craftykv: replicating from %s (read-only until PROMOTE)", *replicaOf)
 	}
 	if *checkpoint > 0 {
 		srv.startCheckpointer(*checkpoint, make(chan struct{}))
@@ -148,7 +185,25 @@ type config struct {
 	// Paranoid forces every CRASH recovery onto the full verify + reconcile
 	// path even when a checkpoint watermark would bound it.
 	Paranoid bool
+
+	// ConnTimeout bounds how long one connection read or flush may sit; 0
+	// disables. MaxConns bounds accepted client connections; 0 disables.
+	ConnTimeout time.Duration
+	MaxConns    int
+
+	// Replication (repl.go): a repl-listen address and/or a primary to
+	// replicate from; either one enables the replState. ReplDial is the
+	// drills' netfault injection point (nil = plain TCP).
+	ReplListen      string
+	ReplicaOf       string
+	ReplSync        bool
+	ReplSyncTimeout time.Duration
+	ReplLogCap      int
+	ReplDial        func(addr string) (net.Conn, error)
 }
+
+// replicated reports whether this config enables replication.
+func (c config) replicated() bool { return c.ReplListen != "" || c.ReplicaOf != "" }
 
 // server owns the heap, the engine, the store, and the scheduler: one worker
 // goroutine per pool slot, each bound to its own engine thread. CRASH takes
@@ -186,6 +241,14 @@ type server struct {
 	// newServer returns. connSeq hands each connection a counter stripe.
 	obs     *serverMetrics
 	connSeq atomic.Uint64
+
+	// repl is the replication state (repl.go); nil unless the config names
+	// a repl listener or a primary to follow. crashEpoch counts completed
+	// CRASH recoveries so the replica applier can detect one splitting an
+	// apply window; conns counts accepted client connections for -max-conns.
+	repl       *replState
+	crashEpoch atomic.Uint64
+	conns      atomic.Int64
 }
 
 func newServer(cfg config) (*server, error) {
@@ -239,6 +302,12 @@ func newServer(cfg config) (*server, error) {
 	// worker goroutine starts (workers record drained batch sizes).
 	for i := 0; i < cfg.Pool; i++ {
 		s.workers = append(s.workers, &worker{srv: s, id: i, queue: make(chan task, cfg.Queue)})
+	}
+	// The replication state must exist before the metrics block (which
+	// registers its instruments) and before the workers start (which tap
+	// batches into its log).
+	if cfg.replicated() {
+		s.repl = newReplState(s, cfg)
 	}
 	s.obs = newServerMetrics(s)
 	for _, w := range s.workers {
@@ -438,6 +507,10 @@ func (s *server) crash() (rolledBack int, entries uint64, rep crafty.KVReopenRep
 	if err != nil {
 		return 0, 0, rep, err
 	}
+	// Replication aftermath (repl.go): bump the crash epoch, and as primary
+	// invalidate the group log and sever replicas — streamed groups may be
+	// among the rolled-back suffix.
+	s.onCrashRecovered()
 	return report.SequencesRolledBack, entries, rep, nil
 }
 
@@ -458,6 +531,17 @@ func (s *server) serve(l net.Listener) error {
 			}(conn)
 			continue
 		}
+		// The accept loop is the only goroutine that increments, so the
+		// check-then-add pair cannot race another accept; handle decrements.
+		if s.cfg.MaxConns > 0 && s.conns.Load() >= int64(s.cfg.MaxConns) {
+			s.obs.connsRefused.Inc(0)
+			go func(conn net.Conn) {
+				fmt.Fprintf(conn, "ERR too many connections\n")
+				conn.Close()
+			}(conn)
+			continue
+		}
+		s.conns.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -473,6 +557,7 @@ func writeLinef(out *bufio.Writer, format string, args ...any) {
 // a pipelined burst costs one write syscall for the whole batch.
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
+	defer s.conns.Add(-1)
 	// Each connection gets its own counter stripe so concurrent connections'
 	// traffic counters never contend on a cache line.
 	stripe := int(s.connSeq.Add(1))
@@ -507,6 +592,10 @@ func (s *server) handle(conn net.Conn) {
 			if len(pending) == 0 {
 				s.obs.bursts.Observe(burst)
 				burst = 0
+				// A stalled client must not pin this goroutine mid-flush.
+				if d := s.cfg.ConnTimeout; d > 0 {
+					conn.SetWriteDeadline(time.Now().Add(d))
+				}
 				if out.Flush() != nil {
 					// The connection is gone; keep draining so the reader
 					// never blocks on a full pending queue.
@@ -527,6 +616,12 @@ func (s *server) handle(conn net.Conn) {
 
 	c := &connReader{srv: s, pending: pending, stripe: stripe}
 	for {
+		// -conn-timeout is an idle/stall bound: a client that sends nothing
+		// for a whole interval is disconnected rather than holding the
+		// reader goroutine (and its fd) forever.
+		if d := s.cfg.ConnTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		raw, err := in.ReadSlice('\n')
 		s.obs.bytesIn.Add(stripe, uint64(len(raw)))
 		if err == bufio.ErrBufferFull {
@@ -588,7 +683,17 @@ func (c *connReader) waitPrior() {
 func (c *connReader) dispatch(line string) bool {
 	s := c.srv
 	parts := strings.SplitN(line, " ", 3)
-	switch strings.ToUpper(parts[0]) {
+	cmd := strings.ToUpper(parts[0])
+	// Replica role: client mutations are refused until PROMOTE (the
+	// replication applier submits its work directly, not through here).
+	switch cmd {
+	case "PUT", "DEL", "MPUT", "MDEL":
+		if s.writesRefused() {
+			c.push(inlineRequest(replicaRefusal))
+			return true
+		}
+	}
+	switch cmd {
 	case "PUT":
 		if len(parts) != 3 {
 			c.push(inlineRequest("ERR usage: PUT <key> <value>"))
@@ -670,8 +775,10 @@ func (c *connReader) dispatch(line string) bool {
 		c.push(inlineRequest(s.infoText()))
 	case "SYNC":
 		// The barrier covers everything already queued — including this
-		// connection's earlier operations — so no waitPrior is needed.
-		if err := s.sync(); err != nil {
+		// connection's earlier operations — so no waitPrior is needed. In
+		// -repl-sync mode the barrier additionally waits for the replica's
+		// durable acknowledgement (repl.go).
+		if err := s.replicatedSync(); err != nil {
 			c.push(inlineRequest(fmt.Sprintf("ERR %v", err)))
 			return true
 		}
@@ -694,6 +801,20 @@ func (c *connReader) dispatch(line string) bool {
 		}
 		c.push(inlineRequest(fmt.Sprintf("OK rolled_back=%d entries=%d verified_shards=%d shards=%d full_verify=%t",
 			rolledBack, entries, rep.VerifiedShards, rep.Shards, rep.FullVerify)))
+	case "PROMOTE":
+		// Failover: stop following the primary, checkpoint at a quiesced
+		// point, start accepting writes under a fresh generation. waitPrior
+		// orders it after this connection's earlier (read) traffic.
+		c.waitPrior()
+		reply, err := s.promote()
+		if err != nil {
+			c.push(inlineRequest(fmt.Sprintf("ERR %v", err)))
+			return true
+		}
+		c.push(inlineRequest(reply))
+	case "REPLINFO":
+		c.waitPrior()
+		c.push(inlineRequest(s.replInfo()))
 	case "QUIT":
 		c.waitPrior()
 		c.push(inlineRequest("BYE"))

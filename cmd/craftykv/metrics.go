@@ -59,6 +59,15 @@ type serverMetrics struct {
 	// reopen + index verification).
 	crashes    *obs.Counter
 	recoveryNs *obs.Histogram
+
+	// Graceful-degradation and replication instruments. connsRefused counts
+	// connections turned away by -max-conns; the repl counters are stamped by
+	// the replication wiring (repl.go) and registered unconditionally so that
+	// code never has to nil-check, but the repl.* gauges (groups, lag, roles)
+	// are sampled only when replication is configured.
+	connsRefused  *obs.Counter
+	replSyncWaits *obs.Counter
+	replSnapshots *obs.Counter
 }
 
 // newServerMetrics builds the registry over a fully constructed server. It
@@ -91,6 +100,53 @@ func newServerMetrics(s *server) *serverMetrics {
 
 	m.crashes = reg.Counter("srv.crashes")
 	m.recoveryNs = reg.Histogram("srv.recovery_ns")
+
+	m.connsRefused = reg.Counter("conn.refused")
+	m.replSyncWaits = reg.Counter("repl.sync_waits")
+	m.replSnapshots = reg.Counter("repl.snapshots")
+
+	if rs := s.repl; rs != nil {
+		// Endpoints start after the registry exists (main wires listeners
+		// last), so every sampler re-fetches them nil-safely.
+		reg.Func("repl.groups", func() int64 { return int64(rs.log.LastSeq()) })
+		reg.Func("repl.gen", func() int64 { return int64(rs.gen.Load()) })
+		reg.Func("repl.is_replica", func() int64 {
+			if rs.isReplica.Load() {
+				return 1
+			}
+			return 0
+		})
+		reg.Func("repl.lag", func() int64 {
+			if p := rs.getPrimary(); p != nil {
+				return int64(p.Lag())
+			}
+			return 0
+		})
+		reg.Func("repl.replicas", func() int64 {
+			if p := rs.getPrimary(); p != nil {
+				return int64(p.Replicas())
+			}
+			return 0
+		})
+		reg.Func("repl.applied", func() int64 {
+			if r := rs.getReplica(); r != nil {
+				return int64(r.AppliedSeq())
+			}
+			return 0
+		})
+		reg.Func("repl.connected", func() int64 {
+			if r := rs.getReplica(); r != nil && r.Connected() {
+				return 1
+			}
+			return 0
+		})
+		reg.Func("repl.reconnects", func() int64 {
+			if r := rs.getReplica(); r != nil {
+				return int64(r.Reconnects())
+			}
+			return 0
+		})
+	}
 
 	for _, w := range s.workers {
 		w := w

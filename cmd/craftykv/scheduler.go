@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"crafty"
+	"crafty/internal/repl"
 )
 
 // cmdKind selects how a completed request renders.
@@ -170,6 +171,11 @@ type worker struct {
 	srv   *server
 	id    int
 	queue chan task
+
+	// tapOps is the reused staging buffer for the replication tap: the
+	// batch's committed mutations, handed to repl.Log.Append (which deep-
+	// copies) right after the group commit returns.
+	tapOps []repl.Op
 }
 
 // enqueue routes one operation of req (already counted in req.remaining) to
@@ -242,6 +248,13 @@ func (w *worker) run() {
 		}
 		if len(ops) > 0 {
 			res, dst, _ = store.Apply(th, ops, res, dst[:0])
+			// Replication tap: append the batch's committed mutations to the
+			// shared log before any completion (and before any barrier parking
+			// later in this loop), so a SYNC barrier's fully-quiesced point
+			// always covers every group the log covers.
+			if rs := w.srv.repl; rs != nil && rs.tapping() {
+				w.tap(items, res)
+			}
 		}
 
 		j := 0
@@ -312,6 +325,38 @@ func (w *worker) run() {
 			}
 		}
 		w.srv.mu.RUnlock()
+	}
+}
+
+// tap collects the batch's successfully committed mutations into one
+// replication group. Result indexing mirrors the completion loop: res[j] for
+// every task with a request and a real op index, in drain order. Reads and
+// failed operations are not replicated; reserved keys (the replica's own
+// position record) never leave the machine. Append deep-copies, so aliasing
+// the requests' op buffers here is safe even though they are pooled after
+// completion.
+func (w *worker) tap(items []task, res []crafty.KVOpResult) {
+	w.tapOps = w.tapOps[:0]
+	j := 0
+	for _, t := range items {
+		if t.req == nil || t.op < 0 {
+			continue
+		}
+		op := t.req.ops[t.op]
+		out := res[j]
+		j++
+		if out.Err != nil || replReserved(op.Key) {
+			continue
+		}
+		switch op.Kind {
+		case crafty.KVPut:
+			w.tapOps = append(w.tapOps, repl.Op{Key: op.Key, Value: op.Value})
+		case crafty.KVDelete:
+			w.tapOps = append(w.tapOps, repl.Op{Delete: true, Key: op.Key})
+		}
+	}
+	if len(w.tapOps) > 0 {
+		w.srv.repl.log.Append(w.tapOps)
 	}
 }
 

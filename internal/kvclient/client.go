@@ -1,0 +1,319 @@
+// Package kvclient is a minimal client for the craftykv text protocol with
+// the retry discipline a server that injects crashes demands: dial failures,
+// dropped connections, and the server's explicit "ERR recovering" reply (a
+// connection arriving while a CRASH recovery holds the store) are retried on
+// a capped exponential backoff with jitter, up to a budget. Mutating
+// commands are idempotent at the store (PUT and DEL re-apply to the same
+// state), so retrying a round trip whose reply was lost is safe; the client
+// documents at-least-once semantics rather than pretending otherwise.
+//
+// The craftykv tests (and the replication failover drills) use it in place
+// of hand-rolled net.Dial loops, which hung or flaked whenever a request
+// raced a recovery.
+package kvclient
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+)
+
+// Config tunes a client. The zero value gets sensible test-scale defaults.
+type Config struct {
+	// Timeout bounds one round trip (dial, write, or reply read). Default
+	// 2s.
+	Timeout time.Duration
+	// RetryBudget bounds the total time spent retrying one request,
+	// including backoff sleeps. Default 15s.
+	RetryBudget time.Duration
+	// BaseBackoff is the first retry's sleep; each subsequent retry doubles
+	// it up to MaxBackoff, and a uniform jitter of up to half the step is
+	// added so synchronized clients do not reconnect in lockstep. Defaults
+	// 10ms / 500ms.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter deterministic in tests; 0 seeds from the
+	// address so distinct clients still diverge.
+	Seed int64
+}
+
+func (c Config) withDefaults(addr string) Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 15 * time.Second
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		for _, b := range addr {
+			c.Seed = c.Seed*31 + int64(b)
+		}
+		c.Seed++
+	}
+	return c
+}
+
+// Backoff is a capped exponential backoff with jitter — the retry cadence
+// shared by the client and the replication layer's reconnect loop. Not safe
+// for concurrent use.
+type Backoff struct {
+	Base, Max time.Duration
+	rng       *rand.Rand
+	next      time.Duration
+}
+
+// NewBackoff builds a backoff; seed fixes the jitter for deterministic
+// tests.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the sleep before the next attempt: the doubled step, capped,
+// plus up to half a step of jitter.
+func (b *Backoff) Next() time.Duration {
+	if b.next == 0 {
+		b.next = b.Base
+	} else {
+		b.next *= 2
+		if b.next > b.Max {
+			b.next = b.Max
+		}
+	}
+	return b.next + time.Duration(b.rng.Int63n(int64(b.next)/2+1))
+}
+
+// Reset restarts the progression after a success.
+func (b *Backoff) Reset() { b.next = 0 }
+
+// Client is a connection to one craftykv server. Not safe for concurrent
+// use; open one client per goroutine (the server multiplexes connections).
+type Client struct {
+	addr string
+	cfg  Config
+	bo   *Backoff
+
+	conn net.Conn
+	r    *bufio.Reader
+
+	// retries counts transparently retried round trips, for tests asserting
+	// the retry path actually ran.
+	retries int
+}
+
+// Dial creates a client and establishes its first connection, retrying dial
+// failures within the budget.
+func Dial(addr string, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults(addr)
+	c := &Client{addr: addr, cfg: cfg, bo: NewBackoff(cfg.BaseBackoff, cfg.MaxBackoff, cfg.Seed)}
+	if err := c.withRetry(func() error { return c.ensureConn() }); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Retries reports how many transparent retries the client has performed.
+func (c *Client) Retries() int { return c.retries }
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// SetAddr repoints the client (failover to a promoted replica); the current
+// connection is dropped and the next request dials the new address.
+func (c *Client) SetAddr(addr string) {
+	c.Close()
+	c.addr = addr
+}
+
+// errRecovering matches the server's explicit recovery refusal.
+func errRecovering(line string) bool {
+	return strings.HasPrefix(line, "ERR recovering")
+}
+
+// retryable classifies failures worth another attempt: connection-level
+// errors (the crash handler or a conn limit dropped us; redial) and the
+// recovering refusal. Protocol-level ERR replies are answers, not failures.
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
+	if err != nil {
+		return retryableError{err}
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	return nil
+}
+
+// dropConn discards a connection after a failure mid-round-trip.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// withRetry runs op until success, a non-retryable failure, or the budget
+// expires (the last error is returned, wrapped with the attempt count).
+func (c *Client) withRetry(op func() error) error {
+	deadline := time.Now().Add(c.cfg.RetryBudget)
+	c.bo.Reset()
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if _, ok := err.(retryableError); !ok {
+			return err
+		}
+		sleep := c.bo.Next()
+		if time.Now().Add(sleep).After(deadline) {
+			return fmt.Errorf("kvclient: %s: giving up after %d attempts: %w", c.addr, attempt+1, err)
+		}
+		c.retries++
+		time.Sleep(sleep)
+	}
+}
+
+// roundTrip performs one request and reads n reply lines on the current
+// connection; any transport failure or recovering refusal is retryable.
+func (c *Client) roundTrip(req string, n int, lines []string) ([]string, error) {
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		c.dropConn()
+		return nil, retryableError{err}
+	}
+	lines = lines[:0]
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			c.dropConn()
+			return nil, retryableError{err}
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if errRecovering(line) {
+			// The server refuses connections mid-recovery and closes them;
+			// drop ours and redial after backoff.
+			c.dropConn()
+			return nil, retryableError{fmt.Errorf("server recovering: %s", line)}
+		}
+		lines = append(lines, line)
+	}
+	return lines, nil
+}
+
+// Do sends one request line and returns one reply line, retrying transport
+// failures and recovery refusals.
+func (c *Client) Do(req string) (string, error) {
+	lines, err := c.DoLines(req, 1)
+	if err != nil {
+		return "", err
+	}
+	return lines[0], nil
+}
+
+// DoLines sends one request line and reads exactly n reply lines (MGET and
+// MDEL reply one line per key).
+func (c *Client) DoLines(req string, n int) ([]string, error) {
+	var out []string
+	err := c.withRetry(func() error {
+		lines, err := c.roundTrip(req, n, out)
+		if err != nil {
+			return err
+		}
+		out = lines
+		return nil
+	})
+	return out, err
+}
+
+// Get fetches one key; ok reports presence.
+func (c *Client) Get(key string) (val string, ok bool, err error) {
+	line, err := c.Do("GET " + key)
+	switch {
+	case err != nil:
+		return "", false, err
+	case line == "NIL":
+		return "", false, nil
+	case strings.HasPrefix(line, "VAL "):
+		return line[4:], true, nil
+	default:
+		return "", false, fmt.Errorf("kvclient: GET %s: %s", key, line)
+	}
+}
+
+// Put writes one key.
+func (c *Client) Put(key, val string) error {
+	return c.expectOK(fmt.Sprintf("PUT %s %s", key, val))
+}
+
+// Del removes one key; ok reports whether it existed (false covers both NIL
+// and an earlier attempt of a retried delete having already removed it).
+func (c *Client) Del(key string) (bool, error) {
+	line, err := c.Do("DEL " + key)
+	switch {
+	case err != nil:
+		return false, err
+	case line == "OK":
+		return true, nil
+	case line == "NIL":
+		return false, nil
+	default:
+		return false, fmt.Errorf("kvclient: DEL %s: %s", key, line)
+	}
+}
+
+// Sync runs the server's durability barrier. A successful reply is the
+// acknowledgement the replication drills build on: everything this client
+// wrote before the Sync is rollback-proof (and, in -repl-sync mode, durable
+// on the replica).
+func (c *Client) Sync() error { return c.expectOK("SYNC") }
+
+// Len returns the live entry count.
+func (c *Client) Len() (uint64, error) {
+	line, err := c.Do("LEN")
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(line, "LEN %d", &n); err != nil {
+		return 0, fmt.Errorf("kvclient: LEN: %s", line)
+	}
+	return n, nil
+}
+
+// expectOK runs a command whose happy reply is exactly "OK".
+func (c *Client) expectOK(req string) error {
+	line, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	if line != "OK" {
+		return fmt.Errorf("kvclient: %s: %s", strings.Fields(req)[0], line)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package netfault wraps a net.Conn with deterministic, injectable faults —
+// the adversary the replication drills run against. Four fault kinds cover
+// the failure modes a TCP stream actually presents to the repl protocol:
+//
+//   - Drop: a Write is swallowed whole (reported as successful). The peer
+//     sees a gap — the replica detects it as a sequence gap or parse error
+//     and re-handshakes.
+//   - Delay: the op sleeps first, then proceeds; models congestion and makes
+//     lag observable.
+//   - Partial: a Write delivers only a prefix, then the connection dies —
+//     the peer must reject the half-frame rather than apply it.
+//   - Sever: the connection dies immediately.
+//
+// Policies decide per-op from a seeded RNG or an explicit script, so a
+// failing drill replays byte-for-byte from its seed.
+package netfault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault is one injected behavior.
+type Fault uint8
+
+const (
+	None Fault = iota
+	Delay
+	Drop
+	Partial
+	Sever
+)
+
+// ErrInjected is returned (wrapped in net.OpError-ish plainness) by faulted
+// ops so tests can distinguish injected failures from real ones.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// Decision is a policy's verdict for one op.
+type Decision struct {
+	Fault Fault
+	// Sleep applies to Delay.
+	Sleep time.Duration
+	// KeepBytes applies to Partial writes: how much of the buffer is
+	// delivered before the connection dies. Clamped to [0, len-1].
+	KeepBytes int
+}
+
+// Policy decides faults. OnWrite/OnRead receive a monotonically increasing
+// per-direction op index, so decisions depend only on the seed and the op
+// sequence — never on wall-clock time.
+type Policy interface {
+	OnWrite(op int, size int) Decision
+	OnRead(op int) Decision
+}
+
+// Script replays an explicit decision sequence (index = op number); ops past
+// the end are clean. Reads are always clean.
+type Script struct {
+	Writes []Decision
+}
+
+func (s *Script) OnWrite(op int, size int) Decision {
+	if op < len(s.Writes) {
+		return s.Writes[op]
+	}
+	return Decision{}
+}
+
+func (s *Script) OnRead(op int) Decision { return Decision{} }
+
+// Probs configures a RandomPolicy: per-op fault probabilities (summing ≤ 1)
+// and the delay magnitude.
+type Probs struct {
+	Drop    float64
+	Delay   float64
+	Partial float64
+	Sever   float64
+	// MaxSleep bounds Delay sleeps (default 2ms — enough to shuffle
+	// interleavings without slowing a drill to a crawl).
+	MaxSleep time.Duration
+}
+
+// RandomPolicy draws faults from a seeded RNG; the same seed yields the same
+// fault sequence.
+type RandomPolicy struct {
+	mu sync.Mutex
+	rp Probs
+	w  *rand.Rand
+	r  *rand.Rand
+}
+
+// NewRandomPolicy builds a policy; distinct streams for reads and writes
+// keep each direction's sequence deterministic regardless of interleaving.
+func NewRandomPolicy(seed int64, p Probs) *RandomPolicy {
+	if p.MaxSleep <= 0 {
+		p.MaxSleep = 2 * time.Millisecond
+	}
+	return &RandomPolicy{rp: p, w: rand.New(rand.NewSource(seed)), r: rand.New(rand.NewSource(seed ^ 0x7f4a7c15))}
+}
+
+func (p *RandomPolicy) decide(rng *rand.Rand, size int, writes bool) Decision {
+	x := rng.Float64()
+	c := p.rp.Drop
+	if writes && x < c {
+		return Decision{Fault: Drop}
+	}
+	c += p.rp.Delay
+	if x < c {
+		return Decision{Fault: Delay, Sleep: time.Duration(rng.Int63n(int64(p.rp.MaxSleep) + 1))}
+	}
+	c += p.rp.Partial
+	if writes && x < c && size > 1 {
+		return Decision{Fault: Partial, KeepBytes: rng.Intn(size)}
+	}
+	c += p.rp.Sever
+	if x < c {
+		return Decision{Fault: Sever}
+	}
+	return Decision{}
+}
+
+func (p *RandomPolicy) OnWrite(op int, size int) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decide(p.w, size, true)
+}
+
+func (p *RandomPolicy) OnRead(op int) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decide(p.r, 0, false)
+}
+
+// Conn is a net.Conn whose I/O passes through a Policy.
+type Conn struct {
+	net.Conn
+	p Policy
+
+	mu       sync.Mutex
+	writeOps int
+	readOps  int
+	dead     bool
+
+	// Counters for tests asserting the policy actually fired.
+	Dropped, Delayed, Partials, Severed int
+}
+
+// Wrap decorates conn. The policy is consulted once per Read/Write call.
+func Wrap(conn net.Conn, p Policy) *Conn {
+	return &Conn{Conn: conn, p: p}
+}
+
+// Dialer returns a dial function (the shape repl.ReplicaConfig.Dial wants)
+// that wraps every new connection with a policy built by mk — one policy per
+// connection, so reconnects restart the fault sequence deterministically.
+func Dialer(mk func() Policy) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(c, mk()), nil
+	}
+}
+
+func (c *Conn) kill() {
+	c.dead = true
+	c.Conn.Close()
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	op := c.writeOps
+	c.writeOps++
+	d := c.p.OnWrite(op, len(p))
+	switch d.Fault {
+	case Drop:
+		c.Dropped++
+		c.mu.Unlock()
+		return len(p), nil // swallowed: caller believes it was sent
+	case Delay:
+		c.Delayed++
+		c.mu.Unlock()
+		time.Sleep(d.Sleep)
+		return c.Conn.Write(p)
+	case Partial:
+		c.Partials++
+		keep := d.KeepBytes
+		if keep < 0 {
+			keep = 0
+		}
+		if keep >= len(p) {
+			keep = len(p) - 1
+		}
+		if keep > 0 {
+			c.Conn.Write(p[:keep])
+		}
+		c.kill()
+		c.mu.Unlock()
+		return keep, ErrInjected
+	case Sever:
+		c.Severed++
+		c.kill()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	default:
+		c.mu.Unlock()
+		return c.Conn.Write(p)
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	op := c.readOps
+	c.readOps++
+	d := c.p.OnRead(op)
+	switch d.Fault {
+	case Delay:
+		c.Delayed++
+		c.mu.Unlock()
+		time.Sleep(d.Sleep)
+		return c.Conn.Read(p)
+	case Sever:
+		c.Severed++
+		c.kill()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	default:
+		c.mu.Unlock()
+		return c.Conn.Read(p)
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil
+	}
+	c.dead = true
+	return c.Conn.Close()
+}

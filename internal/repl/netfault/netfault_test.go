@@ -1,0 +1,166 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulted client side and the raw server side of an
+// in-memory connection.
+func pipePair(p Policy) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, p), b
+}
+
+// readAll drains b until EOF/error on a goroutine and returns the bytes.
+func readAll(b net.Conn) <-chan []byte {
+	ch := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, b)
+		ch <- buf.Bytes()
+	}()
+	return ch
+}
+
+// TestScriptDropSwallowsWholeWrite: a dropped Write reports success but
+// delivers nothing; subsequent writes flow — the peer sees a gap, not a
+// torn frame.
+func TestScriptDropSwallowsWholeWrite(t *testing.T) {
+	c, b := pipePair(&Script{Writes: []Decision{{}, {Fault: Drop}, {}}})
+	got := readAll(b)
+	for _, msg := range []string{"one|", "two|", "three|"} {
+		if n, err := c.Write([]byte(msg)); err != nil || n != len(msg) {
+			t.Fatalf("write %q = %d, %v", msg, n, err)
+		}
+	}
+	c.Close()
+	if s := string(<-got); s != "one|three|" {
+		t.Fatalf("peer saw %q, want the dropped write fully absent", s)
+	}
+	if c.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", c.Dropped)
+	}
+}
+
+// TestScriptPartialWrite: only the prefix is delivered, the connection
+// dies, and the writer sees an injected error.
+func TestScriptPartialWrite(t *testing.T) {
+	c, b := pipePair(&Script{Writes: []Decision{{Fault: Partial, KeepBytes: 4}}})
+	got := readAll(b)
+	n, err := c.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n != 4 {
+		t.Fatalf("partial write delivered %d bytes, want 4", n)
+	}
+	if s := string(<-got); s != "0123" {
+		t.Fatalf("peer saw %q, want the 4-byte prefix", s)
+	}
+	if _, err := c.Write([]byte("more")); err == nil {
+		t.Fatal("write after partial-kill succeeded")
+	}
+}
+
+// TestScriptSever: the op fails immediately and the conn is dead both ways.
+func TestScriptSever(t *testing.T) {
+	c, b := pipePair(&Script{Writes: []Decision{{Fault: Sever}}})
+	got := readAll(b)
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("severed write succeeded")
+	}
+	if s := string(<-got); s != "" {
+		t.Fatalf("peer saw %q after sever, want nothing", s)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on severed conn succeeded")
+	}
+}
+
+// TestScriptDelay: the write is delivered intact after the sleep.
+func TestScriptDelay(t *testing.T) {
+	c, b := pipePair(&Script{Writes: []Decision{{Fault: Delay, Sleep: 10 * time.Millisecond}}})
+	got := readAll(b)
+	t0 := time.Now()
+	if _, err := c.Write([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("delayed write returned after %v, want ≥ 10ms", d)
+	}
+	c.Close()
+	if s := string(<-got); s != "late" {
+		t.Fatalf("peer saw %q", s)
+	}
+}
+
+// TestRandomPolicyDeterministic: the same seed produces the same decision
+// sequence; different seeds diverge.
+func TestRandomPolicyDeterministic(t *testing.T) {
+	probs := Probs{Drop: 0.2, Delay: 0.2, Partial: 0.2, Sever: 0.1}
+	seq := func(seed int64) []Fault {
+		p := NewRandomPolicy(seed, probs)
+		out := make([]Fault, 200)
+		for i := range out {
+			out[i] = p.OnWrite(i, 100).Fault
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: seed 42 diverged (%d vs %d)", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 42 and 43 produced identical fault sequences")
+	}
+	// All fault kinds actually fire at these probabilities.
+	counts := map[Fault]int{}
+	for _, f := range a {
+		counts[f]++
+	}
+	for _, f := range []Fault{None, Drop, Delay, Partial, Sever} {
+		if counts[f] == 0 {
+			t.Fatalf("fault kind %d never fired in 200 ops: %v", f, counts)
+		}
+	}
+}
+
+// TestRandomPolicyRoundTrip: a message pushed through a lossy conn either
+// arrives intact or not at all per write — no interleaved corruption from
+// the wrapper itself (torn frames only from Partial, which kills the conn).
+func TestRandomPolicyRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		p := NewRandomPolicy(seed, Probs{Drop: 0.3})
+		c, b := pipePair(p)
+		got := readAll(b)
+		var want bytes.Buffer
+		for i := 0; i < 20; i++ {
+			msg := []byte{byte('a' + i), byte('A' + i), '|'}
+			before := c.Dropped
+			if _, err := c.Write(msg); err != nil {
+				t.Fatalf("seed %d write %d: %v", seed, i, err)
+			}
+			if c.Dropped == before {
+				want.Write(msg)
+			}
+		}
+		c.Close()
+		if s := string(<-got); s != want.String() {
+			t.Fatalf("seed %d: peer saw %q, want %q", seed, s, want.String())
+		}
+	}
+}

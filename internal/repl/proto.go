@@ -1,0 +1,335 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Wire protocol, version 1. Text headers with length-prefixed binary
+// payloads (keys and values are arbitrary bytes; lengths keep the framing
+// unambiguous and cheap to parse):
+//
+//	replica → primary
+//	  HELLO 1 <pos> <gen>      handshake: durable position + generation
+//	  ACK <seq> <0|1>          applied through seq; 1 = durable (post-fence)
+//
+//	primary → replica
+//	  ERR <message>            handshake refused (not primary, bad version)
+//	  STREAM <gen> <from>      tailing the log; groups follow from seq=from
+//	  SNAP <gen> <seq> <n>     snapshot as of seq; n entries follow, then SNAPEND
+//	  E <klen> <vlen>\n<key><value>\n
+//	  SNAPEND
+//	  GROUP <seq> <n>          one commit group; n op records follow
+//	  P <klen> <vlen>\n<key><value>\n
+//	  D <klen>\n<key>\n
+//	  FENCE <seq>              request a durable ACK once applied ≥ seq
+//
+// A replica detects loss (netfault drops, half-written frames) as a parse
+// error or a sequence gap, drops the connection, and re-handshakes from its
+// recorded position; groups are idempotent so overlap is harmless.
+
+// ProtocolVersion is the handshake version this package speaks.
+const ProtocolVersion = 1
+
+// Parser limits: a corrupt length prefix must not drive allocation.
+const (
+	maxKeyLen   = 1 << 16
+	maxValueLen = 1 << 24
+	maxGroupOps = 1 << 20
+)
+
+// Frame kinds returned by ReadFrame.
+const (
+	FrameStream = iota
+	FrameSnap
+	FrameGroup
+	FrameFence
+	FrameErr
+)
+
+// Frame is one primary→replica message. Fields are populated per Kind:
+// Stream (Gen, Seq=from), Snap (Gen, Seq, Entries), Group (Group), Fence
+// (Seq), Err (Msg).
+type Frame struct {
+	Kind    int
+	Gen     uint64
+	Seq     uint64
+	Entries []Entry
+	Group   Group
+	Msg     string
+}
+
+func writeLine(w *bufio.Writer, format string, args ...any) error {
+	_, err := fmt.Fprintf(w, format+"\n", args...)
+	return err
+}
+
+func writeBlob(w *bufio.Writer, parts ...[]byte) error {
+	for _, p := range parts {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return w.WriteByte('\n')
+}
+
+// WriteHello sends the replica's handshake.
+func WriteHello(w *bufio.Writer, pos, gen uint64) error {
+	if err := writeLine(w, "HELLO %d %d %d", ProtocolVersion, pos, gen); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadHello parses the replica handshake and validates the version.
+func ReadHello(r *bufio.Reader) (pos, gen uint64, err error) {
+	line, err := readLine(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	var ver int
+	if _, err := fmt.Sscanf(line, "HELLO %d %d %d", &ver, &pos, &gen); err != nil {
+		return 0, 0, fmt.Errorf("repl: bad handshake %q", line)
+	}
+	if ver != ProtocolVersion {
+		return 0, 0, fmt.Errorf("repl: unsupported protocol version %d (want %d)", ver, ProtocolVersion)
+	}
+	return pos, gen, nil
+}
+
+// WriteErr refuses a handshake.
+func WriteErr(w *bufio.Writer, msg string) error {
+	if err := writeLine(w, "ERR %s", msg); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteStream announces tailing from sequence from under gen.
+func WriteStream(w *bufio.Writer, gen, from uint64) error {
+	return writeLine(w, "STREAM %d %d", gen, from)
+}
+
+// WriteSnap sends a full snapshot header, its entries, and the terminator.
+func WriteSnap(w *bufio.Writer, gen, seq uint64, entries []Entry) error {
+	if err := writeLine(w, "SNAP %d %d %d", gen, seq, len(entries)); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := writeLine(w, "E %d %d", len(e.Key), len(e.Value)); err != nil {
+			return err
+		}
+		if err := writeBlob(w, e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return writeLine(w, "SNAPEND")
+}
+
+// WriteGroup sends one commit group.
+func WriteGroup(w *bufio.Writer, g Group) error {
+	if err := writeLine(w, "GROUP %d %d", g.Seq, len(g.Ops)); err != nil {
+		return err
+	}
+	for _, op := range g.Ops {
+		if op.Delete {
+			if err := writeLine(w, "D %d", len(op.Key)); err != nil {
+				return err
+			}
+			if err := writeBlob(w, op.Key); err != nil {
+				return err
+			}
+		} else {
+			if err := writeLine(w, "P %d %d", len(op.Key), len(op.Value)); err != nil {
+				return err
+			}
+			if err := writeBlob(w, op.Key, op.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFence requests a durable acknowledgement for seq.
+func WriteFence(w *bufio.Writer, seq uint64) error {
+	return writeLine(w, "FENCE %d", seq)
+}
+
+// WriteAck sends the replica's progress; durable=true only after a fence
+// made everything through seq rollback-proof on the replica.
+func WriteAck(w *bufio.Writer, seq uint64, durable bool) error {
+	d := 0
+	if durable {
+		d = 1
+	}
+	if err := writeLine(w, "ACK %d %d", seq, d); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadAck parses one replica ACK.
+func ReadAck(r *bufio.Reader) (seq uint64, durable bool, err error) {
+	line, err := readLine(r)
+	if err != nil {
+		return 0, false, err
+	}
+	var d int
+	if _, err := fmt.Sscanf(line, "ACK %d %d", &seq, &d); err != nil {
+		return 0, false, fmt.Errorf("repl: bad ack %q", line)
+	}
+	return seq, d == 1, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readBlob reads n payload bytes plus the trailing newline.
+func readBlob(r *bufio.Reader, n int, dst []byte) ([]byte, error) {
+	dst = append(dst[:0], make([]byte, n)...)
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return nil, err
+	}
+	if b, err := r.ReadByte(); err != nil {
+		return nil, err
+	} else if b != '\n' {
+		return nil, fmt.Errorf("repl: blob not newline-terminated")
+	}
+	return dst, nil
+}
+
+func checkLens(klen, vlen int) error {
+	if klen <= 0 || klen >= maxKeyLen || vlen < 0 || vlen >= maxValueLen {
+		return fmt.Errorf("repl: implausible lengths key=%d value=%d (corrupt stream)", klen, vlen)
+	}
+	return nil
+}
+
+// readOp reads one P/D/E record given its already-parsed header line.
+func readOp(r *bufio.Reader, line string) (Op, error) {
+	var klen, vlen int
+	switch {
+	case strings.HasPrefix(line, "P ") || strings.HasPrefix(line, "E "):
+		if _, err := fmt.Sscanf(line[2:], "%d %d", &klen, &vlen); err != nil {
+			return Op{}, fmt.Errorf("repl: bad op header %q", line)
+		}
+		if err := checkLens(klen, vlen); err != nil {
+			return Op{}, err
+		}
+		buf, err := readBlob(r, klen+vlen, nil)
+		if err != nil {
+			return Op{}, err
+		}
+		return Op{Key: buf[:klen:klen], Value: buf[klen:]}, nil
+	case strings.HasPrefix(line, "D "):
+		if _, err := fmt.Sscanf(line[2:], "%d", &klen); err != nil {
+			return Op{}, fmt.Errorf("repl: bad op header %q", line)
+		}
+		if err := checkLens(klen, 0); err != nil {
+			return Op{}, err
+		}
+		buf, err := readBlob(r, klen, nil)
+		if err != nil {
+			return Op{}, err
+		}
+		return Op{Delete: true, Key: buf}, nil
+	default:
+		return Op{}, fmt.Errorf("repl: unexpected op record %q", line)
+	}
+}
+
+// ReadFrame reads one primary→replica frame, including any payload records.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	switch {
+	case strings.HasPrefix(line, "STREAM "):
+		var f Frame
+		f.Kind = FrameStream
+		if _, err := fmt.Sscanf(line, "STREAM %d %d", &f.Gen, &f.Seq); err != nil {
+			return Frame{}, fmt.Errorf("repl: bad frame %q", line)
+		}
+		return f, nil
+	case strings.HasPrefix(line, "SNAP "):
+		var f Frame
+		var n int
+		f.Kind = FrameSnap
+		if _, err := fmt.Sscanf(line, "SNAP %d %d %d", &f.Gen, &f.Seq, &n); err != nil {
+			return Frame{}, fmt.Errorf("repl: bad frame %q", line)
+		}
+		if n < 0 || n > maxGroupOps {
+			return Frame{}, fmt.Errorf("repl: implausible snapshot size %d", n)
+		}
+		f.Entries = make([]Entry, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			hdr, err := readLine(r)
+			if err != nil {
+				return Frame{}, err
+			}
+			op, err := readOp(r, hdr)
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Entries = append(f.Entries, Entry{Key: op.Key, Value: op.Value})
+		}
+		end, err := readLine(r)
+		if err != nil {
+			return Frame{}, err
+		}
+		if end != "SNAPEND" {
+			return Frame{}, fmt.Errorf("repl: snapshot not terminated (got %q)", end)
+		}
+		return f, nil
+	case strings.HasPrefix(line, "GROUP "):
+		var f Frame
+		var n int
+		f.Kind = FrameGroup
+		if _, err := fmt.Sscanf(line, "GROUP %d %d", &f.Group.Seq, &n); err != nil {
+			return Frame{}, fmt.Errorf("repl: bad frame %q", line)
+		}
+		if n < 0 || n > maxGroupOps {
+			return Frame{}, fmt.Errorf("repl: implausible group size %d", n)
+		}
+		f.Group.Ops = make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			hdr, err := readLine(r)
+			if err != nil {
+				return Frame{}, err
+			}
+			op, err := readOp(r, hdr)
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Group.Ops = append(f.Group.Ops, op)
+		}
+		return f, nil
+	case strings.HasPrefix(line, "FENCE "):
+		var f Frame
+		f.Kind = FrameFence
+		if _, err := fmt.Sscanf(line, "FENCE %d", &f.Seq); err != nil {
+			return Frame{}, fmt.Errorf("repl: bad frame %q", line)
+		}
+		return f, nil
+	case strings.HasPrefix(line, "ERR "):
+		return Frame{Kind: FrameErr, Msg: line[4:]}, nil
+	default:
+		return Frame{}, fmt.Errorf("repl: unknown frame %q", line)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

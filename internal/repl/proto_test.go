@@ -1,0 +1,119 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestProtoGroupRoundTrip: groups with binary keys/values (spaces, newlines,
+// NULs) survive encode/decode byte-for-byte.
+func TestProtoGroupRoundTrip(t *testing.T) {
+	in := Group{Seq: 42, Ops: []Op{
+		{Key: []byte("plain"), Value: []byte("value")},
+		{Key: []byte("has space"), Value: []byte("v has\nnewline")},
+		{Key: []byte{0x00, 0xff, 0x0a}, Value: []byte{}},
+		{Delete: true, Key: []byte("gone key\n")},
+	}}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteGroup(w, in); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	f, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameGroup || f.Group.Seq != 42 || len(f.Group.Ops) != len(in.Ops) {
+		t.Fatalf("frame = %+v", f)
+	}
+	for i, op := range f.Group.Ops {
+		want := in.Ops[i]
+		if op.Delete != want.Delete || !bytes.Equal(op.Key, want.Key) || !bytes.Equal(op.Value, want.Value) {
+			t.Fatalf("op %d = %+v, want %+v", i, op, want)
+		}
+	}
+}
+
+// TestProtoSnapRoundTrip: snapshot framing with terminator.
+func TestProtoSnapRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b b"), Value: []byte("2\n2")},
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteSnap(w, 7, 99, entries); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	f, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameSnap || f.Gen != 7 || f.Seq != 99 || len(f.Entries) != 2 {
+		t.Fatalf("frame = %+v", f)
+	}
+	for i, e := range f.Entries {
+		if !bytes.Equal(e.Key, entries[i].Key) || !bytes.Equal(e.Value, entries[i].Value) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+// TestProtoHelloAndAcks: handshake and ack lines round-trip; version
+// mismatches are refused.
+func TestProtoHelloAndAcks(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteHello(w, 17, 3); err != nil {
+		t.Fatal(err)
+	}
+	pos, gen, err := ReadHello(bufio.NewReader(&buf))
+	if err != nil || pos != 17 || gen != 3 {
+		t.Fatalf("hello = %d %d %v", pos, gen, err)
+	}
+	if _, _, err := ReadHello(bufio.NewReader(strings.NewReader("HELLO 9 1 1\n"))); err == nil {
+		t.Fatal("future protocol version accepted")
+	}
+
+	buf.Reset()
+	if err := WriteAck(w, 12, true); err != nil {
+		t.Fatal(err)
+	}
+	seq, durable, err := ReadAck(bufio.NewReader(&buf))
+	if err != nil || seq != 12 || !durable {
+		t.Fatalf("ack = %d %v %v", seq, durable, err)
+	}
+}
+
+// TestProtoRejectsCorruptFrames: torn or hostile headers (the aftermath of
+// a netfault drop landing mid-frame) fail parsing instead of allocating
+// absurd buffers or applying garbage.
+func TestProtoRejectsCorruptFrames(t *testing.T) {
+	cases := []string{
+		"GROUP 1 2\nP 5 3\nab",             // truncated payload
+		"GROUP 1 1\nP 99999999 0\n",        // key length over limit
+		"GROUP 1 1\nP 3 99999999\nabc\n",   // value length over limit
+		"GROUP 1 1\nX 1 1\na\n",            // unknown op record
+		"SNAP 1 5 2\nE 1 1\na1\nSNAPEND\n", // entry count mismatch
+		"BOGUS\n",
+		"GROUP 1 -1\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadFrame(bufio.NewReader(strings.NewReader(c))); err == nil {
+			t.Fatalf("corrupt frame %q parsed cleanly", c)
+		}
+	}
+	// Fence and stream still parse.
+	f, err := ReadFrame(bufio.NewReader(strings.NewReader("FENCE 8\n")))
+	if err != nil || f.Kind != FrameFence || f.Seq != 8 {
+		t.Fatalf("fence = %+v %v", f, err)
+	}
+	f, err = ReadFrame(bufio.NewReader(strings.NewReader("STREAM 2 11\n")))
+	if err != nil || f.Kind != FrameStream || f.Gen != 2 || f.Seq != 11 {
+		t.Fatalf("stream = %+v %v", f, err)
+	}
+}

@@ -67,6 +67,10 @@ type KVReopenReport = kv.ReopenReport
 // KVCheckpointReport summarizes one KV.Checkpoint pass.
 type KVCheckpointReport = kv.CheckpointReport
 
+// KVSnapshotEntry is one live pair emitted by KV.Snapshot — the quiesced
+// full-store walk replication uses for replica catch-up.
+type KVSnapshotEntry = kv.SnapshotEntry
+
 // ReopenKV re-materializes a store from its root address after a crash,
 // always on the full path: the whole index is verified and the engine's
 // allocation arena is reconciled against the verified reachable set — every
