@@ -247,6 +247,7 @@ func (w *worker) run() {
 			}
 		}
 		if len(ops) > 0 {
+			//crafty:ignoreerr Apply's batch error is contractually nil; per-op failures (incl. ErrTxTooLarge) are consumed from res below
 			res, dst, _ = store.Apply(th, ops, res, dst[:0])
 			// Replication tap: append the batch's committed mutations to the
 			// shared log before any completion (and before any barrier parking

@@ -191,6 +191,7 @@ func runBank(out io.Writer, threads, ops int, persistProb float64, seed int64) (
 
 	fmt.Fprintf(out, "running %d threads x %d transfers over %d accounts...\n", threads, ops, accounts)
 	var wg sync.WaitGroup
+	txErrs := make([]error, threads)
 	for g := 0; g < threads; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -203,15 +204,25 @@ func runBank(out io.Writer, threads, ops int, persistProb float64, seed int64) (
 					to = (to + 1) % accounts
 				}
 				amount := uint64(1 + rng.Intn(9))
-				_ = th.Atomic(func(tx crafty.Tx) error {
+				err := th.Atomic(func(tx crafty.Tx) error {
 					tx.Store(addrOf(from), tx.Load(addrOf(from))-amount)
 					tx.Store(addrOf(to), tx.Load(addrOf(to))+amount)
 					return nil
 				})
+				if err != nil && txErrs[g] == nil {
+					txErrs[g] = err
+				}
 			}
 		}(g)
 	}
 	wg.Wait()
+	for g, err := range txErrs {
+		// A failed transfer never publishes, so the conservation check below
+		// would still pass — surface the failure instead of masking it.
+		if err != nil {
+			return rep, fmt.Errorf("thread %d: transfer failed: %w", g, err)
+		}
+	}
 
 	fmt.Fprintf(out, "injecting crash (each unfenced write survives with probability %.2f)...\n", persistProb)
 	heap.Crash(crafty.NewRandomCrashPolicy(seed, persistProb))

@@ -1,0 +1,45 @@
+// Command craftyvet is the multichecker for the repository's transactional
+// discipline: a suite of static analyzers that enforce at compile time the
+// invariants the engine otherwise only documents or checks at run time.
+//
+//	txbody    — transaction bodies must be re-execution-safe: no obs
+//	            instruments, time/rand, channels, sync primitives,
+//	            goroutines, I/O, or compounding captured-state writes
+//	            in-body (DESIGN.md §11)
+//	robody    — AtomicRead bodies must not Store/Alloc/Free (compile-time
+//	            ptm.ErrReadOnlyTx)
+//	atomicmix — a field accessed via sync/atomic must never be accessed
+//	            plainly (guards lock-elided owner-claim protocols)
+//	errtyped  — Atomic/AtomicRead/Store.Apply errors must be handled
+//	            (ptm.ErrTxTooLarge is reachable by contract)
+//
+// Run it standalone over package patterns:
+//
+//	go run ./cmd/craftyvet -json ./...
+//
+// or as a go vet tool, which adds build caching, analysis of test files,
+// and cross-package facts persisted between runs:
+//
+//	go build -o bin/craftyvet ./cmd/craftyvet
+//	go vet -vettool=bin/craftyvet ./...
+//
+// Audited exceptions are annotated in source with //crafty:txsafe,
+// //crafty:unsync, or //crafty:ignoreerr, each with a justification.
+package main
+
+import (
+	"crafty/internal/analysis"
+	"crafty/internal/analysis/atomicmix"
+	"crafty/internal/analysis/errtyped"
+	"crafty/internal/analysis/robody"
+	"crafty/internal/analysis/txbody"
+)
+
+func main() {
+	analysis.Main(
+		txbody.Analyzer,
+		robody.Analyzer,
+		atomicmix.Analyzer,
+		errtyped.Analyzer,
+	)
+}

@@ -1,0 +1,100 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool builds the craftyvet binary into a per-test temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "craftyvet")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRepoCleanStandaloneJSON pins the audited state of the tree: the
+// standalone driver over ./... must produce machine-readable output with
+// zero diagnostics. Any regression — a new in-body instrument call, a
+// discarded transaction error — fails this test before it reaches CI.
+func TestRepoCleanStandaloneJSON(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = "../.."
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("craftyvet -json ./...: %v\nstderr:\n%s", err, stderr.String())
+	}
+	var report map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not the documented JSON shape: %v\n%s", err, stdout.String())
+	}
+	for pkg, byAnalyzer := range report {
+		for analyzer, diags := range byAnalyzer {
+			for _, d := range diags {
+				t.Errorf("%s: %s [%s, %s]", d.Posn, d.Message, analyzer, pkg)
+			}
+		}
+	}
+}
+
+// TestRepoCleanUnderGoVet runs the tool the way CI does — through go vet's
+// unitchecker protocol, which additionally covers _test.go files and
+// exercises the fact files cached between packages.
+func TestRepoCleanUnderGoVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go vet over the whole module is not short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestProtocolHandshake pins the two endpoints cmd/go probes before trusting
+// a vettool: the -V=full build ID line and the -flags JSON dump.
+func TestProtocolHandshake(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("-V=full output not parseable by cmd/go: %q", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	want := map[string]bool{"json": false, "txbody": false, "robody": false, "atomicmix": false, "errtyped": false}
+	for _, d := range defs {
+		delete(want, d.Name)
+	}
+	for name := range want {
+		t.Errorf("-flags output missing flag %q", name)
+	}
+}

@@ -84,6 +84,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if got != recovered+1 {
 		t.Fatalf("AtomicRead saw %d, want %d", got, recovered+1)
 	}
+	//crafty:txsafe deliberately provokes the runtime ErrReadOnlyTx this test asserts on
 	if err := th.AtomicRead(func(tx crafty.Tx) error {
 		tx.Store(counter, 0)
 		return nil

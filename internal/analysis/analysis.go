@@ -1,0 +1,140 @@
+// Package analysis is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// module stays dependency-free. It hosts the craftyvet analyzer suite
+// (txbody, robody, atomicmix, errtyped — see the sibling sub-packages) and
+// two drivers:
+//
+//   - a unitchecker implementing the `go vet -vettool` JSON protocol, so the
+//     suite runs under the build cache with per-package export data and
+//     cross-package facts (unitchecker.go);
+//   - a standalone whole-module loader built on `go list -export -deps`,
+//     used by `craftyvet ./...`, the analysistest harness, and the smoke
+//     tests (load.go).
+//
+// The API mirrors x/tools closely enough that swapping the real library in
+// later is a mechanical change: an Analyzer owns a Run function over a Pass;
+// a Pass exposes the package's syntax, type information, and an object-fact
+// store used for one-level interprocedural reasoning across package
+// boundaries.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact files. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank line,
+	// then details.
+	Doc string
+
+	// FactTypes lists the concrete Fact types this analyzer exports and
+	// imports; each must be a pointer to a gob-encodable struct. Drivers
+	// register them with gob before serializing fact files.
+	FactTypes []Fact
+
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Fact is a datum attached to a package-level object (function, method, or
+// struct field) that survives across package boundaries: a driver serializes
+// the facts exported while analyzing a package and makes them available when
+// analyzing its importers. This is what lets txbody see that a helper in
+// another package calls an obs instrument, one level deep, without loading
+// that package's source again.
+type Fact interface{ AFact() }
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // analyzer name; filled by the driver
+	Message  string
+}
+
+// Pass carries the inputs and outputs of one analyzer applied to one
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the module path of the package under analysis ("crafty");
+	// analyzers use it to decide which callees are in-module and therefore
+	// fair game for interprocedural reasoning.
+	Module string
+
+	// Directives holds the parsed //crafty: suppression directives of the
+	// package's files, collected once by the driver.
+	Directives *Directives
+
+	facts  *FactStore
+	report func(Diagnostic)
+
+	// seen dedupes diagnostics: pre-bound bodies can be reached from many
+	// call sites, and each should report its defects once.
+	seen map[string]bool
+}
+
+// NewPass assembles a Pass; drivers call this once per (analyzer, package).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module string, dirs *Directives, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		Module:     module,
+		Directives: dirs,
+		facts:      facts,
+		report:     report,
+		seen:       make(map[string]bool),
+	}
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report reports d unless an identical (position, message) diagnostic was
+// already reported by this pass.
+func (p *Pass) Report(d Diagnostic) {
+	d.Category = p.Analyzer.Name
+	key := fmt.Sprintf("%d\x00%s", d.Pos, d.Message)
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	p.report(d)
+}
+
+// ExportObjectFact attaches fact to obj, to be visible to later passes over
+// packages that import this one. obj must belong to the package under
+// analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	p.facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact attached to obj by this analyzer (in this
+// or an earlier package) into fact, reporting whether one was found. fact
+// must be a pointer of the same concrete type passed to ExportObjectFact.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.facts.importFact(p.Analyzer.Name, obj, fact)
+}

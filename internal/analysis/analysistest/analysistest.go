@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against `// want`
+// expectations, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live inside the module (testdata directories are
+// invisible to ./... patterns, so intentional violations never trip the
+// repo-wide check) and may import real module packages such as
+// crafty/internal/ptm and crafty/internal/obs, which keeps the fixtures
+// honest: they exercise the same types the analyzers match in production
+// code.
+//
+// An expectation is a comment on the flagged line:
+//
+//	s.hits.Inc(0) // want `obs instrument`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message; several quoted expectations may follow one want marker. Every
+// diagnostic must match an expectation on its line and every expectation
+// must be matched, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crafty/internal/analysis"
+)
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes the packages matching patterns (directories relative to the
+// calling test's package, e.g. "./testdata/src/a") with a and compares
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	diags, targets, fset, err := analysis.AnalyzePatterns(patterns, []*analysis.Analyzer{a}, os.Stderr)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range targets {
+		for _, file := range pkg.GoFiles {
+			ws, err := parseWants(file)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for pkgPath, ds := range diags {
+		for _, d := range ds {
+			pos := fset.Position(d.Pos)
+			if !match(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, pkgPath)
+			}
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func match(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want` expectations of one source file.
+func parseWants(file string) ([]*expectation, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		_, rest, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		for rest != "" {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want pattern %q: %v", file, i+1, rest, err)
+			}
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", file, i+1, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad regexp in want: %v", file, i+1, err)
+			}
+			out = append(out, &expectation{file: file, line: i + 1, re: re, raw: pat})
+			rest = strings.TrimSpace(rest[len(q):])
+		}
+	}
+	return out, nil
+}

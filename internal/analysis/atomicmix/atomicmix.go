@@ -1,0 +1,210 @@
+// Package atomicmix defines an analyzer that guards lock-elided protocols
+// built on sync/atomic: a struct field accessed through sync/atomic
+// functions anywhere must not be read or written plainly elsewhere. Mixed
+// access defeats the memory-order reasoning behind the undo log's
+// owner-claim protocol and the nvm word-state arrays — a plain read next to
+// atomic writers is a data race even when it "works" on amd64.
+//
+// Fields typed as atomic.Uint64 (and friends) are immune by construction and
+// are the preferred fix; this analyzer exists for the transitional pattern
+// of plain integer fields driven by atomic.LoadUint64/StoreUint64/... calls.
+// Atomic use is tracked across packages via exported facts on the field.
+// Audited plain accesses (e.g. single-threaded recovery code running before
+// any concurrency exists) are annotated `//crafty:unsync <justification>`.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"crafty/internal/analysis"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "check that fields accessed via sync/atomic are never read or written plainly",
+	FactTypes: []analysis.Fact{(*atomicUseFact)(nil)},
+	Run:       run,
+}
+
+// atomicUseFact marks a struct field as atomically accessed, recording one
+// representative site.
+type atomicUseFact struct{ Posn string }
+
+// AFact marks atomicUseFact as an analysis fact.
+func (*atomicUseFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range pass.Directives.All() {
+		if d.Name == analysis.DirUnsync && d.Reason == "" {
+			pass.Reportf(d.Pos, "//crafty:unsync requires a justification (why is this plain access safe?)")
+		}
+	}
+
+	atomicUses := make(map[*types.Var][]token.Pos)
+	plainUses := make(map[*types.Var][]token.Pos)
+	inAtomicArg := make(map[ast.Node]bool)
+
+	// First pass: find &x.f (or &x.f[i]) arguments of sync/atomic calls.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(ue.X)
+			for {
+				if ix, ok := target.(*ast.IndexExpr); ok {
+					target = ast.Unparen(ix.X)
+					continue
+				}
+				break
+			}
+			sel, ok := target.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := fieldOf(pass, sel); fld != nil {
+				atomicUses[fld] = append(atomicUses[fld], sel.Pos())
+				inAtomicArg[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Second pass: every other access to an eligible field is plain. For
+	// array/slice fields the racy unit is the element, so only indexed
+	// accesses count — len, cap, range, and re-slicing read the header,
+	// which atomic element writers never move.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+				if !ok || inAtomicArg[sel] {
+					return true
+				}
+				fld := fieldOf(pass, sel)
+				if fld == nil || !eligibleArray(fld.Type()) {
+					return true
+				}
+				plainUses[fld] = append(plainUses[fld], n.Pos())
+			case *ast.SelectorExpr:
+				if inAtomicArg[n] {
+					return true
+				}
+				fld := fieldOf(pass, n)
+				if fld == nil || !eligibleScalar(fld.Type()) {
+					return true
+				}
+				plainUses[fld] = append(plainUses[fld], n.Pos())
+			}
+			return true
+		})
+	}
+
+	for fld, sites := range plainUses {
+		posn, mixed := "", false
+		if uses := atomicUses[fld]; len(uses) > 0 {
+			posn, mixed = pass.Fset.Position(uses[0]).String(), true
+		} else {
+			var fact atomicUseFact
+			if pass.ImportObjectFact(fld, &fact) {
+				posn, mixed = fact.Posn, true
+			}
+		}
+		if !mixed {
+			continue
+		}
+		for _, pos := range sites {
+			if pass.Directives.SuppressedAt(analysis.DirUnsync, pos) {
+				continue
+			}
+			pass.Reportf(pos, "plain access to field %s, which is accessed atomically at %s; mixed atomic/plain access is a data race — use sync/atomic (or an atomic.%s field) consistently, or annotate //crafty:unsync with a justification",
+				fld.Name(), posn, suggestType(fld.Type()))
+		}
+	}
+
+	for fld, uses := range atomicUses {
+		pass.ExportObjectFact(fld, &atomicUseFact{Posn: pass.Fset.Position(uses[0]).String()})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a package-level sync/atomic
+// function that reads or writes its pointer argument.
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, if any.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// eligibleScalar reports whether t is a type sync/atomic functions operate
+// on directly: a sized integer, uintptr, or unsafe.Pointer.
+func eligibleScalar(t types.Type) bool {
+	u, ok := t.Underlying().(*types.Basic)
+	return ok && (u.Info()&types.IsInteger != 0 || u.Kind() == types.UnsafePointer)
+}
+
+// eligibleArray reports whether t is an array or slice of atomic-eligible
+// scalars (the word-state-array pattern).
+func eligibleArray(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return eligibleScalar(u.Elem())
+	case *types.Slice:
+		return eligibleScalar(u.Elem())
+	}
+	return false
+}
+
+// suggestType names the atomic wrapper type matching t, for the diagnostic.
+func suggestType(t types.Type) string {
+	name := "Uint64"
+	if u, ok := t.Underlying().(*types.Basic); ok {
+		switch u.Kind() {
+		case types.Int32:
+			name = "Int32"
+		case types.Int64, types.Int:
+			name = "Int64"
+		case types.Uint32:
+			name = "Uint32"
+		case types.Uintptr:
+			name = "Uintptr"
+		case types.UnsafePointer:
+			name = "Pointer"
+		}
+	}
+	return name
+}

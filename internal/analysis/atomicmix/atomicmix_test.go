@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"crafty/internal/analysis/analysistest"
+	"crafty/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "./testdata/src/a")
+}

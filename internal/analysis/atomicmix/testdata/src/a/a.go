@@ -1,0 +1,39 @@
+// Package a exercises the atomicmix analyzer: a field accessed through
+// sync/atomic anywhere must never be read or written plainly elsewhere.
+package a
+
+import "sync/atomic"
+
+type mixed struct {
+	claims uint64
+	states []uint32
+	clean  atomic.Uint64
+	plain  int
+}
+
+func (m *mixed) claim() {
+	atomic.AddUint64(&m.claims, 1)
+	atomic.StoreUint32(&m.states[3], 1)
+}
+
+func (m *mixed) broken() uint64 {
+	v := m.claims   // want `plain access to field claims`
+	m.states[0] = 2 // want `plain access to field states`
+	return v
+}
+
+func (m *mixed) fine() {
+	m.clean.Add(1)    // allowed: typed atomic field is immune by construction
+	m.plain++         // allowed: never accessed atomically
+	_ = len(m.states) // allowed: header read, not an element access
+}
+
+// audited shows the escape hatch for genuinely single-threaded phases.
+func (m *mixed) audited() uint64 {
+	//crafty:unsync fixture: runs in single-threaded recovery before any worker starts
+	return m.claims
+}
+
+func hygiene() {
+	//crafty:unsync // want `//crafty:unsync requires a justification`
+}

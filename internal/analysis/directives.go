@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //crafty: comment directives are the audited escape hatch for the
+// analyzer suite. Each one must carry a justification so the audit trail
+// lives next to the exception:
+//
+//	//crafty:txsafe <why this is safe under re-execution / in a read body>
+//	//crafty:unsync <why this plain access of an atomically-used field is safe>
+//	//crafty:ignoreerr <why discarding this transaction error is safe>
+//
+// A directive suppresses matching diagnostics on its own line and on the
+// line directly below it (so it can ride above a statement or trail it), and
+// a directive on a function declaration suppresses the whole function.
+
+// Directive names understood by the suite.
+const (
+	DirTxSafe    = "txsafe"
+	DirUnsync    = "unsync"
+	DirIgnoreErr = "ignoreerr"
+)
+
+// Directive is one parsed //crafty: comment.
+type Directive struct {
+	Name   string // "txsafe", "unsync", "ignoreerr"
+	Reason string // justification text after the name; empty is a diagnostic
+	Pos    token.Pos
+}
+
+// Directives indexes a package's //crafty: comments by file and line.
+type Directives struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]*Directive // filename -> line -> directives
+	all    []*Directive
+}
+
+// CollectDirectives parses every //crafty: comment in files.
+func CollectDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]*Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//crafty:")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(text, " ")
+				reason = strings.TrimSpace(reason)
+				// A trailing comment (`//crafty:txsafe // TODO`) is not a
+				// justification.
+				if strings.HasPrefix(reason, "//") {
+					reason = ""
+				}
+				dir := &Directive{Name: name, Reason: reason, Pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*Directive)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], dir)
+				d.all = append(d.all, dir)
+			}
+		}
+	}
+	return d
+}
+
+// All returns every directive in the package, for well-formedness checks.
+func (d *Directives) All() []*Directive {
+	if d == nil {
+		return nil
+	}
+	return d.all
+}
+
+// SuppressedAt reports whether a diagnostic of the named directive kind at
+// pos is suppressed by a directive on the same line or the line above.
+func (d *Directives) SuppressedAt(name string, pos token.Pos) bool {
+	if d == nil || !pos.IsValid() {
+		return false
+	}
+	p := d.fset.Position(pos)
+	lines := d.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SuppressesDecl reports whether fn carries a whole-function directive of the
+// named kind in its doc comment or on its declaration line.
+func (d *Directives) SuppressesDecl(name string, fn *ast.FuncDecl) bool {
+	if d == nil || fn == nil {
+		return false
+	}
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if strings.HasPrefix(c.Text, "//crafty:"+name) {
+				return true
+			}
+		}
+	}
+	return d.SuppressedAt(name, fn.Pos())
+}

@@ -1,0 +1,106 @@
+// Package errtyped defines an analyzer that keeps the write-budget contract
+// honest at call sites: the error of ptm.Thread.Atomic/AtomicRead and
+// kv.Store.Apply must not be discarded. Under the WriteBudgeter contract a
+// transaction whose write set exceeds the engine's capacity fails whole with
+// a typed ptm.ErrTxTooLarge — a reachable outcome, not a can't-happen — and
+// a discarded error silently drops acknowledged work. The analyzer flags
+// expression-statement calls, blank-identifier assignments of the error
+// result, and calls discarded behind go/defer. Audited discards are
+// annotated `//crafty:ignoreerr <justification>`.
+package errtyped
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crafty/internal/analysis"
+	"crafty/internal/analysis/txeffect"
+)
+
+// Analyzer is the errtyped analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtyped",
+	Doc:  "check that Atomic/AtomicRead/Store.Apply errors are not discarded (ptm.ErrTxTooLarge is reachable under the write-budget contract)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range pass.Directives.All() {
+		if d.Name == analysis.DirIgnoreErr && d.Reason == "" {
+			pass.Reportf(d.Pos, "//crafty:ignoreerr requires a justification (why is discarding this transaction error safe?)")
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				check(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				check(pass, n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// target classifies a call as one whose error result carries the
+// transactional outcome, returning a display name and the index of the
+// error result.
+func target(pass *analysis.Pass, call *ast.CallExpr) (string, int, bool) {
+	if name, ok := txeffect.IsAtomicCall(pass, call); ok {
+		return name, 0, true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Apply" {
+		return "", 0, false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", 0, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pass.Module+"/internal/kv" {
+		return "", 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", 0, false
+	}
+	return "Store.Apply", sig.Results().Len() - 1, true
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	name, _, ok := target(pass, call)
+	if !ok || pass.Directives.SuppressedAt(analysis.DirIgnoreErr, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error of %s %s: it can be ptm.ErrTxTooLarge (reachable under the write-budget contract) and must be handled or annotated //crafty:ignoreerr", name, how)
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, errIdx, ok := target(pass, call)
+	if !ok || errIdx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := ast.Unparen(as.Lhs[errIdx]).(*ast.Ident); ok && id.Name == "_" {
+		if pass.Directives.SuppressedAt(analysis.DirIgnoreErr, call.Pos()) {
+			return
+		}
+		pass.Reportf(as.Pos(), "error of %s assigned to _: it can be ptm.ErrTxTooLarge (reachable under the write-budget contract) and must be handled or annotated //crafty:ignoreerr", name)
+	}
+}

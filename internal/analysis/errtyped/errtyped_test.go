@@ -1,0 +1,12 @@
+package errtyped_test
+
+import (
+	"testing"
+
+	"crafty/internal/analysis/analysistest"
+	"crafty/internal/analysis/errtyped"
+)
+
+func TestErrTyped(t *testing.T) {
+	analysistest.Run(t, errtyped.Analyzer, "./testdata/src/a")
+}

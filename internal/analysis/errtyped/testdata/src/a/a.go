@@ -1,0 +1,39 @@
+// Package a exercises the errtyped analyzer: the errors of Atomic,
+// AtomicRead, and kv.Store.Apply carry typed transactional outcomes
+// (ptm.ErrTxTooLarge under the write-budget contract) and must be handled.
+package a
+
+import (
+	"crafty/internal/kv"
+	"crafty/internal/ptm"
+)
+
+func nop(tx ptm.Tx) error { return nil }
+
+func discards(th ptm.Thread, s *kv.Store, ops []kv.Op) {
+	th.Atomic(nop)                       // want `error of Atomic discarded:`
+	th.AtomicRead(nop)                   // want `error of AtomicRead discarded:`
+	go th.Atomic(nop)                    // want `error of Atomic discarded by go statement`
+	defer th.Atomic(nop)                 // want `error of Atomic discarded by defer`
+	_ = th.Atomic(nop)                   // want `error of Atomic assigned to _`
+	_, _, _ = s.Apply(th, ops, nil, nil) // want `error of Store.Apply assigned to _`
+}
+
+func handled(th ptm.Thread, s *kv.Store, ops []kv.Op) error {
+	if err := th.Atomic(nop); err != nil {
+		return err
+	}
+	// Discarding the non-error results is fine; only the error index counts.
+	res, _, err := s.Apply(th, ops, nil, nil)
+	_ = res
+	return err
+}
+
+func audited(th ptm.Thread) {
+	//crafty:ignoreerr fixture: the outcome is checked through a side channel
+	_ = th.Atomic(nop)
+}
+
+func hygiene() {
+	//crafty:ignoreerr // want `//crafty:ignoreerr requires a justification`
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"os"
+	"reflect"
+)
+
+// Facts are keyed by (package path, analyzer, object key) where the object
+// key is a stable string derived from the object's declaration — not its
+// in-memory identity — so a fact exported while type-checking a package from
+// source resolves against the same object seen later through gc export data.
+//
+// Keys cover the object shapes the suite needs: package-level functions,
+// methods (keyed by their receiver's named type), and struct fields of
+// package-level named types. Anything else (closures, locals) has no key and
+// cannot carry facts.
+
+// ObjectKey returns the stable key for obj, or "" if obj cannot carry facts.
+func ObjectKey(obj types.Object) string {
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		if recv := sig.Recv(); recv != nil {
+			named := namedOf(recv.Type())
+			if named == nil {
+				return ""
+			}
+			return "m " + named.Obj().Name() + "." + o.Name()
+		}
+		return "f " + o.Name()
+	case *types.Var:
+		if !o.IsField() {
+			return ""
+		}
+		owner := fieldOwner(o)
+		if owner == "" {
+			return ""
+		}
+		return "fd " + owner + "." + o.Name()
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to reach a named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldOwner scans the field's package scope for the named struct type that
+// declares it, identifying the field by object identity. This works on both
+// sides of a fact exchange because each side scans the package as it sees
+// it.
+func fieldOwner(field *types.Var) string {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// factEntry is the serialized form of one fact.
+type factEntry struct {
+	Analyzer string
+	ObjKey   string
+	Data     []byte // gob of the concrete fact value
+}
+
+// factFile is the on-disk fact ("vetx") file for one package.
+type factFile struct {
+	Entries []factEntry
+}
+
+// FactStore holds facts for the package under analysis plus every imported
+// fact made available by the driver.
+type FactStore struct {
+	// imported facts: package path -> analyzer -> objkey -> encoded fact
+	imported map[string]map[string][]byte
+	// exported facts of the current package, in export order
+	exported []factEntry
+	// live facts of already-analyzed packages in the same process
+	// (standalone driver), stored decoded: pkgpath -> analyzer/objkey -> value
+	live map[string]map[string]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		imported: make(map[string]map[string][]byte),
+		live:     make(map[string]map[string]Fact),
+	}
+}
+
+// RegisterFactTypes registers every analyzer's fact types with gob; drivers
+// call it once before encoding or decoding fact files.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+func factKey(analyzer, objKey string) string { return analyzer + "\x00" + objKey }
+
+// LoadFactFile merges the fact file at path, previously written by
+// WriteFactFile while analyzing package pkgPath, into the store.
+func (s *FactStore) LoadFactFile(pkgPath, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ff factFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ff); err != nil {
+		return fmt.Errorf("decoding fact file %s: %w", path, err)
+	}
+	m := s.imported[pkgPath]
+	if m == nil {
+		m = make(map[string][]byte)
+		s.imported[pkgPath] = m
+	}
+	for _, e := range ff.Entries {
+		m[factKey(e.Analyzer, e.ObjKey)] = e.Data
+	}
+	return nil
+}
+
+// WriteFactFile writes every fact exported so far to path.
+func (s *FactStore) WriteFactFile(path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&factFile{Entries: s.exported}); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// SealPackage moves the current package's exported facts into the live set
+// under pkgPath and resets the export buffer; the standalone driver calls it
+// after finishing each package so later packages in the same process can
+// import without a round-trip through disk.
+func (s *FactStore) SealPackage(pkgPath string) {
+	for _, e := range s.exported {
+		m := s.live[pkgPath]
+		if m == nil {
+			m = make(map[string]Fact)
+			s.live[pkgPath] = m
+		}
+		var buf bytes.Buffer
+		buf.Write(e.Data)
+		var v Fact
+		if err := gob.NewDecoder(&buf).Decode(&v); err == nil {
+			m[factKey(e.Analyzer, e.ObjKey)] = v
+		}
+	}
+	s.exported = nil
+}
+
+func (s *FactStore) export(analyzer string, obj types.Object, fact Fact) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&fact); err != nil {
+		return
+	}
+	s.exported = append(s.exported, factEntry{Analyzer: analyzer, ObjKey: key, Data: buf.Bytes()})
+}
+
+func (s *FactStore) importFact(analyzer string, obj types.Object, fact Fact) bool {
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	pkgPath := obj.Pkg().Path()
+	fk := factKey(analyzer, key)
+	if m := s.live[pkgPath]; m != nil {
+		if v, ok := m[fk]; ok {
+			return copyFact(v, fact)
+		}
+	}
+	if m := s.imported[pkgPath]; m != nil {
+		if data, ok := m[fk]; ok {
+			var v Fact
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+				return false
+			}
+			return copyFact(v, fact)
+		}
+	}
+	return false
+}
+
+// copyFact copies src's pointee into dst's pointee; both must be pointers to
+// the same concrete struct type.
+func copyFact(src, dst Fact) bool {
+	sv := reflect.ValueOf(src)
+	dv := reflect.ValueOf(dst)
+	if sv.Kind() != reflect.Pointer || dv.Kind() != reflect.Pointer || sv.Type() != dv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}

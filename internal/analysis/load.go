@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Standalone driver: `craftyvet [-json] ./...` without the go vet harness.
+//
+// The loader shells out to `go list -export -deps -json`, which compiles
+// every dependency (including the standard library, from the local build
+// cache — no network) and reports the export-data file of each package.
+// Main-module packages are then re-parsed from source, type-checked against
+// their dependencies' export data, and analyzed in the dependency order go
+// list already emits — so facts exported by a package are in memory before
+// any importer is analyzed, giving the same one-level interprocedural
+// visibility as the vetx files under go vet.
+
+type listModule struct {
+	Path string
+	Main bool
+	Dir  string
+}
+
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *listModule
+}
+
+// goList runs `go list -export -deps -json` over patterns, returning
+// packages in dependency order.
+func goList(patterns []string, stderr io.Writer) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		io.Copy(stderr, &errBuf)
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// RunStandalone analyzes the packages matching patterns and returns the
+// process exit code: 0 clean, 1 failure, 2 diagnostics found.
+func RunStandalone(patterns []string, analyzers []*Analyzer, asJSON bool, stdout, stderr io.Writer) int {
+	diags, _, fset, err := AnalyzePatterns(patterns, analyzers, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "craftyvet: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		merged := make(map[string]map[string][]JSONDiagnostic)
+		for pkgID, ds := range diags {
+			byAnalyzer := make(map[string][]JSONDiagnostic)
+			for _, d := range sortDiags(fset, ds) {
+				byAnalyzer[d.Category] = append(byAnalyzer[d.Category], JSONDiagnostic{
+					Posn:    fset.Position(d.Pos).String(),
+					Message: d.Message,
+				})
+			}
+			merged[pkgID] = byAnalyzer
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(merged)
+	}
+	n := 0
+	for _, ds := range diags {
+		n += len(ds)
+		if !asJSON {
+			for _, d := range sortDiags(fset, ds) {
+				fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Category)
+			}
+		}
+	}
+	if n > 0 && !asJSON {
+		return 2
+	}
+	return 0
+}
+
+// TargetPackage identifies one package named directly by the patterns.
+type TargetPackage struct {
+	ImportPath string
+	GoFiles    []string
+}
+
+// AnalyzePatterns loads, type-checks, and analyzes every main-module
+// package matching patterns (dependencies included, for facts), returning
+// diagnostics grouped by package import path for the packages the patterns
+// named directly. The analysistest harness uses this entry point too.
+func AnalyzePatterns(patterns []string, analyzers []*Analyzer, stderr io.Writer) (map[string][]Diagnostic, []TargetPackage, *token.FileSet, error) {
+	pkgs, err := goList(patterns, stderr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	RegisterFactTypes(analyzers)
+	facts := NewFactStore()
+	fset := token.NewFileSet()
+
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	compilerImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	out := make(map[string][]Diagnostic)
+	var targets []TargetPackage
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || !p.Module.Main || p.Name == "" {
+			continue
+		}
+		// go list reports GoFiles relative to the package directory.
+		goFiles := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			if filepath.IsAbs(name) {
+				goFiles[i] = name
+			} else {
+				goFiles[i] = filepath.Join(p.Dir, name)
+			}
+		}
+		if !p.DepOnly {
+			targets = append(targets, TargetPackage{ImportPath: p.ImportPath, GoFiles: goFiles})
+		}
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(stderr, "craftyvet: skipping %s (cgo not supported by the standalone driver)\n", p.ImportPath)
+			continue
+		}
+		var files []*ast.File
+		parseOK := true
+		for _, name := range goFiles {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintf(stderr, "craftyvet: %v\n", err)
+				parseOK = false
+				break
+			}
+			files = append(files, f)
+		}
+		if !parseOK {
+			continue
+		}
+
+		importMap := p.ImportMap
+		imp := importerFunc(func(importPath string) (*types.Package, error) {
+			path := importPath
+			if mapped, ok := importMap[importPath]; ok {
+				path = mapped
+			}
+			return compilerImporter.Import(path)
+		})
+		tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+		info := NewTypesInfo()
+		tpkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("typechecking %s: %w", p.ImportPath, err)
+		}
+
+		in := PackageInput{Fset: fset, Files: files, Pkg: tpkg, Info: info, Module: p.Module.Path}
+		report := func(d Diagnostic) {
+			if !p.DepOnly {
+				out[p.ImportPath] = append(out[p.ImportPath], d)
+			}
+		}
+		if err := RunAnalyzers(analyzers, in, facts, report); err != nil {
+			return nil, nil, nil, fmt.Errorf("analyzing %s: %w", p.ImportPath, err)
+		}
+		facts.SealPackage(p.ImportPath)
+	}
+	return out, targets, fset, nil
+}

@@ -1,0 +1,75 @@
+// Package robody defines an analyzer that promotes ptm.ErrReadOnlyTx from a
+// runtime error to a compile-time diagnostic: a body passed to
+// ptm.Thread.AtomicRead (served by the zero-logging ROTx fast path) must
+// never call Store, Alloc, or Free on its Tx. The check follows calls one
+// level deep — a read body handing its Tx to a helper that mutates is
+// flagged at the call — across package boundaries via exported facts.
+// Audited exceptions (e.g. conformance tests that deliberately provoke the
+// runtime error) are annotated `//crafty:txsafe <justification>`.
+package robody
+
+import (
+	"go/token"
+
+	"crafty/internal/analysis"
+	"crafty/internal/analysis/txeffect"
+)
+
+// Analyzer is the robody analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "robody",
+	Doc:       "check that AtomicRead bodies never call Store/Alloc/Free (compile-time ptm.ErrReadOnlyTx)",
+	FactTypes: []analysis.Fact{(*txeffect.Fact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	eng := txeffect.New(pass)
+
+	for _, tc := range eng.TxCalls() {
+		if !tc.ReadOnly || pass.Directives.SuppressedAt(analysis.DirTxSafe, tc.Call.Pos()) {
+			continue
+		}
+		for _, b := range tc.Bodies {
+			checkBody(pass, eng, tc.Call.Pos(), b)
+		}
+	}
+
+	eng.ExportFacts()
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, eng *txeffect.Engine, callPos token.Pos, b txeffect.Body) {
+	const hint = "read-only transactions fail such calls at run time with ptm.ErrReadOnlyTx; use Atomic for mutating work"
+	switch {
+	case b.Lit != nil:
+		effects, calls := eng.Collect(b.Lit.Body)
+		for _, eff := range effects {
+			if eff.TxMut {
+				pass.Reportf(eff.Pos, "AtomicRead body performs %s (%s)", eff.Desc, hint)
+			}
+		}
+		for _, c := range calls {
+			for _, eff := range eng.EffectsOf(c.Callee) {
+				if eff.TxMut {
+					pass.Reportf(c.Pos, "AtomicRead body calls %s, which performs %s at %s (%s)", c.Callee.Name(), eff.Desc, eff.Posn, hint)
+				}
+			}
+		}
+	case b.Decl != nil:
+		for _, eff := range eng.Flattened(b.Fn) {
+			if eff.TxMut {
+				pass.Reportf(eff.Pos, "%s is used as an AtomicRead body and performs %s (%s)", b.Fn.Name(), eff.Desc, hint)
+			}
+		}
+	case b.Fn != nil:
+		var fact txeffect.Fact
+		if pass.ImportObjectFact(b.Fn, &fact) {
+			for _, eff := range fact.Effects {
+				if eff.TxMut {
+					pass.Reportf(callPos, "AtomicRead body %s performs %s at %s (%s)", b.Fn.FullName(), eff.Desc, eff.Posn, hint)
+				}
+			}
+		}
+	}
+}

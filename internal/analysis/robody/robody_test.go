@@ -1,0 +1,12 @@
+package robody_test
+
+import (
+	"testing"
+
+	"crafty/internal/analysis/analysistest"
+	"crafty/internal/analysis/robody"
+)
+
+func TestROBody(t *testing.T) {
+	analysistest.Run(t, robody.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,73 @@
+// Package a exercises the robody analyzer: bodies handed to AtomicRead run
+// on the zero-logging read-only path and must never mutate through their Tx.
+package a
+
+import (
+	"crafty/internal/nvm"
+	"crafty/internal/ptm"
+)
+
+func mutates(th ptm.Thread, addr nvm.Addr) {
+	_ = th.AtomicRead(func(tx ptm.Tx) error {
+		_ = tx.Load(addr) // allowed: reads are the point
+		tx.Store(addr, 1) // want `AtomicRead body performs Store through the transaction's Tx`
+		tx.Free(addr)     // want `AtomicRead body performs Free through the transaction's Tx`
+		return nil
+	})
+}
+
+func allocates(th ptm.Thread) {
+	_ = th.AtomicRead(func(tx ptm.Tx) error {
+		_ = tx.Alloc(4) // want `AtomicRead body performs Alloc through the transaction's Tx`
+		return nil
+	})
+}
+
+func helperMutates(tx ptm.Tx, addr nvm.Addr) {
+	tx.Store(addr, 2)
+}
+
+// viaHelper hands the Tx to a helper that mutates; the analyzer follows the
+// call one level.
+func viaHelper(th ptm.Thread, addr nvm.Addr) {
+	_ = th.AtomicRead(func(tx ptm.Tx) error {
+		helperMutates(tx, addr) // want `AtomicRead body calls helperMutates, which performs Store`
+		return nil
+	})
+}
+
+// mutatingTx is fine: Atomic bodies may Store.
+func mutatingTx(th ptm.Thread, addr nvm.Addr) {
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(addr, 3)
+		return nil
+	})
+}
+
+// scan models the pooled pre-bound body pattern on the read path.
+type scan struct {
+	body func(tx ptm.Tx) error
+}
+
+func (s *scan) walk(tx ptm.Tx) error {
+	tx.Store(nvm.Addr(0), 0) // want `walk is used as an AtomicRead body and performs Store`
+	return nil
+}
+
+func preBound(th ptm.Thread) {
+	s := &scan{}
+	s.body = s.walk
+	_ = th.AtomicRead(s.body)
+}
+
+// auditedCallSite shows the call-site escape: a body whose mutating branches
+// are unreachable under this caller's configuration.
+func auditedCallSite(th ptm.Thread, addr nvm.Addr) {
+	//crafty:txsafe fixture: the mutating branch is unreachable from this call site
+	_ = th.AtomicRead(func(tx ptm.Tx) error {
+		if false {
+			tx.Store(addr, 4)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PackageInput is one type-checked package ready for analysis.
+type PackageInput struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Module string
+}
+
+// RunAnalyzers applies each analyzer to the package, collecting diagnostics
+// through report. Facts exported by the analyzers accumulate in facts; the
+// caller decides whether to serialize them (unitchecker) or seal them
+// in-process (standalone driver).
+func RunAnalyzers(analyzers []*Analyzer, in PackageInput, facts *FactStore, report func(Diagnostic)) error {
+	dirs := CollectDirectives(in.Fset, in.Files)
+	for _, a := range analyzers {
+		pass := NewPass(a, in.Fset, in.Files, in.Pkg, in.Info, in.Module, dirs, facts, report)
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers need.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// moduleOf derives a module path from an import path when the driver has no
+// better information: the first path element.
+func moduleOf(importPath string) string {
+	if i := strings.IndexByte(importPath, '/'); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}

@@ -1,0 +1,118 @@
+// Package a exercises the txbody analyzer: bodies handed to Atomic or
+// AtomicRead may run more than once, so they must be re-execution-safe.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crafty/internal/analysis/txbody/testdata/src/b"
+	"crafty/internal/nvm"
+	"crafty/internal/obs"
+	"crafty/internal/ptm"
+)
+
+func direct(th ptm.Thread, c *obs.Counter, ch chan int, mu *sync.Mutex, addr nvm.Addr) {
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		tx.Store(addr, tx.Load(addr)+1) // allowed: mutations through the Tx are undo-logged
+		c.Inc(0)                        // want `obs instrument method \(\*obs\.Counter\)\.Inc`
+		c.Add(0, 2)                     // want `obs instrument method \(\*obs\.Counter\)\.Add`
+		_ = time.Now()                  // want `call to time\.Now`
+		_ = rand.Int()                  // want `call to math/rand\.Int`
+		ch <- 1                         // want `channel send`
+		mu.Lock()                       // want `call to \(\*sync\.Mutex\)\.Lock`
+		fmt.Println("mid-tx")           // want `I/O call to fmt\.Println`
+		go idle()                       // want `goroutine launch`
+		return nil
+	})
+}
+
+func idle() {}
+
+func captured(th ptm.Thread, addr nvm.Addr) []uint64 {
+	var log []uint64
+	n := 0
+	var sum uint64
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		log = append(log, tx.Load(addr)) // want `append to captured slice log`
+		n++                              // want `\+\+ of captured variable n`
+		sum += tx.Load(addr)             // want `compound assignment to captured variable sum`
+		return nil
+	})
+	_, _ = n, sum
+	return log
+}
+
+// resetThenAccumulate is the documented idempotent pattern: a plain reset
+// before the accumulation makes re-execution harmless. Nothing is flagged.
+func resetThenAccumulate(th ptm.Thread, addr nvm.Addr) uint64 {
+	var sum uint64
+	var buf []uint64
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		sum = 0
+		buf = append(buf[:0], tx.Load(addr))
+		sum += buf[0]
+		return nil
+	})
+	return sum
+}
+
+func bump(c *obs.Counter) { c.Inc(1) }
+
+// viaHelper hides the instrument call one level down; the analyzer follows
+// the call.
+func viaHelper(th ptm.Thread, c *obs.Counter) {
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		bump(c) // want `transaction body calls bump, which is not re-execution-safe: call to obs instrument`
+		return nil
+	})
+}
+
+// viaOtherPackage does the same across a package boundary, through the fact
+// package b exported.
+func viaOtherPackage(th ptm.Thread, c *obs.Counter) {
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		b.Bump(c) // want `transaction body calls Bump, which is not re-execution-safe: call to obs instrument`
+		_ = b.Peek(c)
+		return nil
+	})
+}
+
+// worker models the pooled hot-path pattern: the body is pre-bound to a
+// method once and the field is what reaches Atomic.
+type worker struct {
+	c    *obs.Counter
+	body func(tx ptm.Tx) error
+}
+
+func newWorker(c *obs.Counter) *worker {
+	w := &worker{c: c}
+	w.body = w.count
+	return w
+}
+
+func (w *worker) count(tx ptm.Tx) error {
+	w.c.Inc(0) // want `count is used as a transaction body and is not re-execution-safe`
+	return nil
+}
+
+func (w *worker) run(th ptm.Thread) {
+	_ = th.Atomic(w.body)
+}
+
+// audited shows the escape hatch: an annotated effect is accepted.
+func audited(th ptm.Thread, c *obs.Counter) {
+	_ = th.Atomic(func(tx ptm.Tx) error {
+		//crafty:txsafe fixture: double-counting is acceptable on this diagnostic path
+		c.Inc(0)
+		return nil
+	})
+}
+
+func hygiene(th ptm.Thread) {
+	//crafty:txsafe // want `//crafty:txsafe requires a justification`
+	//crafty:frobnicate because reasons // want `unknown directive //crafty:frobnicate`
+	_ = th
+}

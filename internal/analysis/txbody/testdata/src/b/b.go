@@ -1,0 +1,11 @@
+// Package b is a cross-package helper for the txbody fixtures: its exported
+// functions carry effects that must reach importing packages via facts.
+package b
+
+import "crafty/internal/obs"
+
+// Bump is not re-execution-safe: it touches an obs instrument.
+func Bump(c *obs.Counter) { c.Inc(1) }
+
+// Peek is harmless and must not be flagged when called from a body.
+func Peek(c *obs.Counter) uint64 { return c.Value() }

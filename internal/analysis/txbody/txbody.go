@@ -1,0 +1,118 @@
+// Package txbody defines an analyzer enforcing the re-execution-safety
+// discipline for transaction bodies (DESIGN.md §11, §13).
+//
+// Engines may run a body handed to Atomic or AtomicRead several times —
+// Crafty's Log and Validate phases each execute it, and contention retries
+// rerun everything — so a body must be effect-free outside its Tx and
+// idempotent in the volatile state it touches. The analyzer flags, inside
+// any resolvable transaction body (inline literal, method value, or pooled
+// pre-bound func field):
+//
+//   - calls to obs instrument methods (Counter.Inc, Histogram.Observe, ...):
+//     a re-executed body double-counts, and on real HTM the shared counter
+//     word would join every transaction's write set;
+//   - reads of real time (time.Now, time.Since) and randomness (math/rand);
+//   - channel operations, select, sync primitive calls, goroutine launches;
+//   - I/O (os, io, net, log, fmt printing, ...);
+//   - non-idempotent writes to captured variables: growing appends,
+//     compound assignments, and increments without a preceding reset.
+//
+// Calls are followed one level deep: a helper called by the body
+// contributes its own direct effects, across package boundaries via
+// exported facts. Audited exceptions are annotated
+// `//crafty:txsafe <justification>` on the offending line, the line above,
+// the enclosing function declaration, or the Atomic call site.
+package txbody
+
+import (
+	"go/token"
+
+	"crafty/internal/analysis"
+	"crafty/internal/analysis/txeffect"
+)
+
+// Analyzer is the txbody analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "txbody",
+	Doc:       "check that transaction bodies are re-execution-safe (no obs instruments, time, channels, sync, I/O, or compounding captured-state writes in-body)",
+	FactTypes: []analysis.Fact{(*txeffect.Fact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	eng := txeffect.New(pass)
+
+	// Directive hygiene: this analyzer owns //crafty:txsafe and the
+	// directive namespace; every escape needs a written-down justification.
+	known := map[string]bool{analysis.DirTxSafe: true, analysis.DirUnsync: true, analysis.DirIgnoreErr: true}
+	for _, d := range pass.Directives.All() {
+		if !known[d.Name] {
+			pass.Reportf(d.Pos, "unknown directive //crafty:%s", d.Name)
+			continue
+		}
+		if d.Name == analysis.DirTxSafe && d.Reason == "" {
+			pass.Reportf(d.Pos, "//crafty:txsafe requires a justification (why is this safe under re-execution?)")
+		}
+	}
+
+	for _, tc := range eng.TxCalls() {
+		if pass.Directives.SuppressedAt(analysis.DirTxSafe, tc.Call.Pos()) {
+			continue
+		}
+		for _, b := range tc.Bodies {
+			checkBody(pass, eng, tc.Call.Pos(), b)
+		}
+	}
+
+	eng.ExportFacts()
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, eng *txeffect.Engine, callPos token.Pos, b txeffect.Body) {
+	switch {
+	case b.Lit != nil:
+		effects, calls := eng.Collect(b.Lit.Body)
+		for _, eff := range effects {
+			// TxMut effects (tx.Store/Alloc/Free) are the point of a
+			// transaction and are undo-logged; only re-execution hazards are
+			// txbody's concern.
+			if eff.ReExec {
+				report(pass, eff.Pos, "transaction body is not re-execution-safe: %s (bodies may run more than once; DESIGN.md §11)", eff.Desc)
+			}
+		}
+		for _, eff := range eng.CapturedWrites(b.Lit) {
+			report(pass, eff.Pos, "transaction body is not re-execution-safe: %s", eff.Desc)
+		}
+		for _, c := range calls {
+			for _, eff := range eng.EffectsOf(c.Callee) {
+				if eff.ReExec {
+					report(pass, c.Pos, "transaction body calls %s, which is not re-execution-safe: %s at %s", c.Callee.Name(), eff.Desc, eff.Posn)
+				}
+			}
+		}
+	case b.Decl != nil:
+		// Pre-bound body declared in this package: effects carry their own
+		// positions inside the declaration; the pass dedupes across the many
+		// call sites that may bind it.
+		for _, eff := range eng.Flattened(b.Fn) {
+			if eff.ReExec {
+				report(pass, eff.Pos, "%s is used as a transaction body and is not re-execution-safe: %s (bodies may run more than once; DESIGN.md §11)", b.Fn.Name(), eff.Desc)
+			}
+		}
+	case b.Fn != nil:
+		// Pre-bound body from another package: report at the binding site
+		// using the fact its package exported.
+		var fact txeffect.Fact
+		if pass.ImportObjectFact(b.Fn, &fact) {
+			for _, eff := range fact.Effects {
+				if eff.ReExec {
+					report(pass, callPos, "transaction body %s is not re-execution-safe: %s at %s", b.Fn.FullName(), eff.Desc, eff.Posn)
+				}
+			}
+		}
+	}
+}
+
+func report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,12 @@
+package txbody_test
+
+import (
+	"testing"
+
+	"crafty/internal/analysis/analysistest"
+	"crafty/internal/analysis/txbody"
+)
+
+func TestTxBody(t *testing.T) {
+	analysistest.Run(t, txbody.Analyzer, "./testdata/src/a")
+}

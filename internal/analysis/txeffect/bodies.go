@@ -1,0 +1,316 @@
+package txeffect
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crafty/internal/analysis"
+)
+
+// TxCalls finds every Atomic/AtomicRead call in the package and resolves
+// each one's body argument: an inline func literal, a method value, a named
+// function, or — the pooled hot-path pattern — a func-typed variable or
+// struct field, resolved through the assignments and composite literals that
+// bind it (e.g. `c.put = c.runPut` in a sync.Pool constructor).
+func (e *Engine) TxCalls() []TxCall {
+	var out []TxCall
+	for _, f := range e.Pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			name, ok := e.atomicMethod(call)
+			if !ok {
+				return true
+			}
+			out = append(out, TxCall{
+				Call:     call,
+				Name:     name,
+				ReadOnly: name == "AtomicRead",
+				Bodies:   e.ResolveBodies(call.Args[0]),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// atomicMethod reports whether call invokes Atomic or AtomicRead.
+func (e *Engine) atomicMethod(call *ast.CallExpr) (string, bool) {
+	return IsAtomicCall(e.Pass, call)
+}
+
+// IsAtomicCall reports whether call invokes a method named Atomic or
+// AtomicRead with the transactional signature func(func(ptm.Tx) error)
+// error, on any receiver — the ptm.Thread interface or any engine's concrete
+// thread type — returning the method name.
+func IsAtomicCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Atomic" && name != "AtomicRead" {
+		return "", false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		fn, _ = s.Obj().(*types.Func)
+	}
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return "", false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return "", false
+	}
+	return name, isTxBodyType(pass, sig.Params().At(0).Type())
+}
+
+// isTxBodyType reports whether t is func(ptm.Tx) error.
+func isTxBodyType(pass *analysis.Pass, t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	named := namedOf(sig.Params().At(0).Type())
+	return named != nil && named.Obj().Name() == "Tx" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pass.Module+"/internal/ptm"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// ResolveBodies resolves a transaction-body argument to the functions it may
+// denote. Unresolvable arguments (results of calls, interface loads) yield
+// nil: the analyzers stay silent rather than guess.
+func (e *Engine) ResolveBodies(arg ast.Expr) []Body {
+	return e.resolve(arg, make(map[types.Object]bool))
+}
+
+func (e *Engine) resolve(expr ast.Expr, seen map[types.Object]bool) []Body {
+	info := e.Pass.TypesInfo
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		return []Body{{Lit: expr}}
+	case *ast.Ident:
+		switch obj := info.ObjectOf(expr).(type) {
+		case *types.Func:
+			return e.bodyOf(obj)
+		case *types.Var:
+			return e.assignedTo(obj, seen)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[expr]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					return e.bodyOf(fn)
+				}
+			case types.FieldVal:
+				if v, ok := sel.Obj().(*types.Var); ok {
+					return e.assignedTo(v, seen)
+				}
+			}
+			return nil
+		}
+		// Qualified identifier pkg.X.
+		switch obj := info.Uses[expr.Sel].(type) {
+		case *types.Func:
+			return e.bodyOf(obj)
+		case *types.Var:
+			return e.assignedTo(obj, seen)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) bodyOf(fn *types.Func) []Body {
+	return []Body{{Decl: e.Decls[fn], Fn: fn}}
+}
+
+// assignedTo finds every function value assigned to obj anywhere in the
+// package — plain assignments, var initializers, and composite-literal field
+// values — and resolves each.
+func (e *Engine) assignedTo(obj *types.Var, seen map[types.Object]bool) []Body {
+	if seen[obj] {
+		return nil
+	}
+	seen[obj] = true
+	info := e.Pass.TypesInfo
+	var out []Body
+	for _, f := range e.Pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if e.lhsObject(lhs) == obj {
+						out = append(out, e.resolve(n.Rhs[i], seen)...)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && info.ObjectOf(name) == obj {
+						out = append(out, e.resolve(n.Values[i], seen)...)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && info.Uses[key] == obj {
+						out = append(out, e.resolve(kv.Value, seen)...)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (e *Engine) lhsObject(lhs ast.Expr) types.Object {
+	info := e.Pass.TypesInfo
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(lhs)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+// CapturedWrites flags non-idempotent mutations of variables a body literal
+// captures from its environment: growing appends (x = append(x, ...)),
+// compound assignments (x += v), and increments — each of which compounds
+// when the engine re-executes the body. A plain reset (x = v, or appending
+// to an explicitly re-sliced prefix like x = append(x[:n], ...)) earlier in
+// the body exempts the variable: resetting then accumulating is the
+// documented idempotent pattern.
+func (e *Engine) CapturedWrites(lit *ast.FuncLit) []Effect {
+	info := e.Pass.TypesInfo
+
+	// resets[v] is the earliest plain assignment to captured v in the body.
+	resets := make(map[types.Object]token.Pos)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := e.capturedVar(id, lit)
+			if v == nil {
+				continue
+			}
+			// A growing self-append is not a reset; anything else is.
+			if i < len(as.Rhs) && isGrowingAppend(info, as.Rhs[i], v) {
+				continue
+			}
+			if p, ok := resets[v]; !ok || as.Pos() < p {
+				resets[v] = as.Pos()
+			}
+		}
+		return true
+	})
+
+	var out []Effect
+	add := func(pos token.Pos, format string, args ...any) {
+		if e.Pass.Directives.SuppressedAt(analysis.DirTxSafe, pos) {
+			return
+		}
+		out = append(out, Effect{
+			Desc:   fmt.Sprintf(format, args...),
+			Posn:   e.Pass.Fset.Position(pos).String(),
+			Pos:    pos,
+			ReExec: true,
+		})
+	}
+	reset := func(v types.Object, pos token.Pos) bool {
+		p, ok := resets[v]
+		return ok && p < pos
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := e.capturedVar(id, lit)
+				if v == nil || reset(v, n.Pos()) {
+					continue
+				}
+				if n.Tok != token.ASSIGN {
+					add(n.Pos(), "compound assignment to captured variable %s (accumulates across re-executions)", id.Name)
+				} else if i < len(n.Rhs) && isGrowingAppend(info, n.Rhs[i], v) {
+					add(n.Pos(), "append to captured slice %s (grows across re-executions)", id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if v := e.capturedVar(id, lit); v != nil && !reset(v, n.Pos()) {
+					add(n.Pos(), "%s of captured variable %s (accumulates across re-executions)", n.Tok, id.Name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar returns the variable id denotes if it is captured by lit —
+// declared outside the literal — and nil otherwise.
+func (e *Engine) capturedVar(id *ast.Ident, lit *ast.FuncLit) *types.Var {
+	v, ok := e.Pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+		return nil // declared inside the body
+	}
+	return v
+}
+
+// isGrowingAppend reports whether expr is append(v, ...) with the bare
+// captured variable as its first argument — the growing form. Appending to a
+// re-sliced prefix (append(v[:n], ...)) is a reset-style write and is
+// allowed.
+func isGrowingAppend(info *types.Info, expr ast.Expr, v types.Object) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.ObjectOf(arg) == v
+}

@@ -1,0 +1,338 @@
+// Package txeffect computes re-execution-safety summaries of functions: the
+// shared engine behind the txbody and robody analyzers.
+//
+// A transaction body handed to ptm.Thread.Atomic/AtomicRead may run several
+// times (Crafty's Log and Validate phases, retries after contention), so a
+// body must be idempotent and effect-free outside its Tx. txeffect walks
+// function bodies and records everything that breaks that contract — obs
+// instrument calls, time/rand reads, channel and sync operations, goroutine
+// launches, I/O — plus every mutation performed through a ptm.Tx (which is
+// legal in a mutating transaction but banned in a read-only one; the robody
+// analyzer consumes that flag).
+//
+// Summaries follow calls one level deep: a call to a function declared in
+// the same package pulls in that function's direct effects, and a call into
+// another module package resolves through an exported object fact, so an
+// in-body Counter.Inc hidden behind a helper is still caught.
+package txeffect
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"crafty/internal/analysis"
+)
+
+// Effect is one re-execution hazard or Tx mutation found in a function body.
+type Effect struct {
+	Desc string // human-readable, e.g. `call to (*obs.Counter).Inc`
+	Posn string // file:line:col where the effect happens, for cross-package reports
+	Pos  token.Pos
+	// ReExec marks effects that make a body unsafe to re-execute (txbody's
+	// concern); TxMut marks Store/Alloc/Free through a ptm.Tx (robody's
+	// concern in read-only bodies, legal in mutating ones).
+	ReExec bool
+	TxMut  bool
+}
+
+// Fact is the exported per-function summary: the function's direct effects
+// plus its same-level callees' direct effects (one interprocedural level per
+// package hop).
+type Fact struct{ Effects []Effect }
+
+// AFact marks Fact as an analysis fact.
+func (*Fact) AFact() {}
+
+// Call is a call from a function body to another function in this module.
+type Call struct {
+	Pos    token.Pos
+	Callee *types.Func
+}
+
+// Summary is the per-function analysis result within the current package.
+type Summary struct {
+	Effects []Effect
+	Calls   []Call
+}
+
+// Body is one resolved candidate for a transaction-body argument.
+type Body struct {
+	Lit  *ast.FuncLit  // inline literal, or
+	Decl *ast.FuncDecl // declaration in the current package, or
+	Fn   *types.Func   // declared function (possibly another package)
+}
+
+// TxCall is one Atomic/AtomicRead call site with its resolved bodies.
+type TxCall struct {
+	Call     *ast.CallExpr
+	Name     string // "Atomic" or "AtomicRead"
+	ReadOnly bool
+	Bodies   []Body
+}
+
+// Engine computes and caches summaries for one package.
+type Engine struct {
+	Pass  *analysis.Pass
+	Decls map[*types.Func]*ast.FuncDecl
+
+	sums    map[*types.Func]*Summary
+	working map[*types.Func]bool // recursion guard
+}
+
+// New builds an engine over the pass's package.
+func New(pass *analysis.Pass) *Engine {
+	e := &Engine{
+		Pass:    pass,
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		sums:    make(map[*types.Func]*Summary),
+		working: make(map[*types.Func]bool),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					e.Decls[fn] = fd
+				}
+			}
+		}
+	}
+	return e
+}
+
+// ExportFacts exports a flattened effect summary for every function declared
+// in the package, so importers can reason one level into this package.
+func (e *Engine) ExportFacts() {
+	for fn := range e.Decls {
+		eff := e.Flattened(fn)
+		if len(eff) == 0 {
+			continue
+		}
+		e.Pass.ExportObjectFact(fn, &Fact{Effects: eff})
+	}
+}
+
+// Summary returns fn's direct summary (computing it on first use). fn must
+// be declared in the current package.
+func (e *Engine) Summary(fn *types.Func) *Summary {
+	if s, ok := e.sums[fn]; ok {
+		return s
+	}
+	if e.working[fn] {
+		return &Summary{} // recursion: direct effects come from the outer call
+	}
+	e.working[fn] = true
+	defer delete(e.working, fn)
+
+	s := &Summary{}
+	decl := e.Decls[fn]
+	if decl != nil && !e.Pass.Directives.SuppressesDecl(analysis.DirTxSafe, decl) {
+		s.Effects, s.Calls = e.Collect(decl.Body)
+	}
+	e.sums[fn] = s
+	return s
+}
+
+// Flattened returns fn's direct effects plus one level of its callees'.
+func (e *Engine) Flattened(fn *types.Func) []Effect {
+	s := e.Summary(fn)
+	out := append([]Effect(nil), s.Effects...)
+	for _, c := range s.Calls {
+		for _, eff := range e.EffectsOf(c.Callee) {
+			out = append(out, Effect{
+				Desc:   fmt.Sprintf("call to %s, which has %s at %s", c.Callee.Name(), eff.Desc, eff.Posn),
+				Posn:   e.Pass.Fset.Position(c.Pos).String(),
+				Pos:    c.Pos,
+				ReExec: eff.ReExec,
+				TxMut:  eff.TxMut,
+			})
+		}
+	}
+	return out
+}
+
+// EffectsOf returns the direct effects of a module function: from its local
+// summary when it is declared here, or from the fact its defining package
+// exported.
+func (e *Engine) EffectsOf(fn *types.Func) []Effect {
+	if _, ok := e.Decls[fn]; ok {
+		return e.Summary(fn).Effects
+	}
+	var fact Fact
+	if e.Pass.ImportObjectFact(fn, &fact) {
+		return fact.Effects
+	}
+	return nil
+}
+
+// Collect walks body and returns its direct effects and its calls into
+// module functions. Effects suppressed by a //crafty:txsafe directive on
+// their line (or the line above) are dropped.
+func (e *Engine) Collect(body ast.Node) (effects []Effect, calls []Call) {
+	info := e.Pass.TypesInfo
+	add := func(pos token.Pos, reexec, txmut bool, format string, args ...any) {
+		if e.Pass.Directives.SuppressedAt(analysis.DirTxSafe, pos) {
+			return
+		}
+		effects = append(effects, Effect{
+			Desc:   fmt.Sprintf(format, args...),
+			Posn:   e.Pass.Fset.Position(pos).String(),
+			Pos:    pos,
+			ReExec: reexec,
+			TxMut:  txmut,
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			add(n.Arrow, true, false, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n.OpPos, true, false, "channel receive")
+			}
+		case *ast.SelectStmt:
+			add(n.Select, true, false, "select statement")
+			return false // its cases were already counted by the select itself
+		case *ast.GoStmt:
+			add(n.Go, true, false, "goroutine launch")
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					add(n.For, true, false, "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			e.classifyCall(n, add, &calls)
+		}
+		return true
+	})
+	return effects, calls
+}
+
+// classifyCall records the effect of one call expression, if any, or notes
+// it as a module-internal call for one-level expansion.
+func (e *Engine) classifyCall(call *ast.CallExpr, add func(token.Pos, bool, bool, string, ...any), calls *[]Call) {
+	info := e.Pass.TypesInfo
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "close":
+				add(call.Pos(), true, false, "close of channel")
+			case "print", "println":
+				add(call.Pos(), true, false, "call to builtin %s", obj.Name())
+			}
+			return
+		case *types.Func:
+			e.classifyFunc(call, obj, add, calls)
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				e.classifyFunc(call, fn, add, calls)
+			}
+			return
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			e.classifyFunc(call, fn, add, calls)
+		}
+	}
+}
+
+// ioPkgs are standard-library packages whose calls count as I/O effects
+// inside a transaction body.
+var ioPkgs = map[string]bool{
+	"os": true, "io": true, "io/ioutil": true, "bufio": true,
+	"net": true, "net/http": true, "log": true, "syscall": true,
+}
+
+// obsMutators are the obs instrument methods that update shared state; pure
+// reads like Value and Snapshot are re-execution-safe.
+var obsMutators = map[string]bool{
+	"Inc": true, "Add": true, "Set": true,
+	"Observe": true, "ObserveN": true, "ObserveSince": true,
+}
+
+// timeFuncs are the time package functions that observe or consume real
+// time.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "Sleep": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func (e *Engine) classifyFunc(call *ast.CallExpr, fn *types.Func, add func(token.Pos, bool, bool, string, ...any), calls *[]Call) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return
+	}
+	path := pkg.Path()
+	sig, _ := fn.Type().(*types.Signature)
+
+	if sig != nil && sig.Recv() != nil {
+		recv := namedOf(sig.Recv().Type())
+		recvName := "?"
+		if recv != nil {
+			recvName = recv.Obj().Name()
+		}
+		switch {
+		case path == e.Pass.Module+"/internal/obs" && obsMutators[fn.Name()]:
+			// The cardinal rule: obs instruments are never updated in-body
+			// (DESIGN.md §11) — on real HTM a shared counter word would join
+			// every transaction's write set, and under emulation a re-executed
+			// body double-counts. Pure reads (Value, Snapshot) are idempotent.
+			add(call.Pos(), true, false, "call to obs instrument method (*obs.%s).%s", recvName, fn.Name())
+		case path == e.Pass.Module+"/internal/obs":
+			*calls = append(*calls, Call{Pos: call.Pos(), Callee: fn})
+		case path == e.Pass.Module+"/internal/ptm" && recv != nil && recv.Obj().Name() == "Tx":
+			switch fn.Name() {
+			case "Store", "Alloc", "Free":
+				add(call.Pos(), false, true, "%s through the transaction's Tx", fn.Name())
+			}
+		case path == "sync":
+			add(call.Pos(), true, false, "call to (*sync.%s).%s", recvName, fn.Name())
+		case path == "time":
+			add(call.Pos(), true, false, "call to (*time.%s).%s", recvName, fn.Name())
+		case ioPkgs[path]:
+			add(call.Pos(), true, false, "I/O call to (%s.%s).%s", path, recvName, fn.Name())
+		case e.inModule(path):
+			*calls = append(*calls, Call{Pos: call.Pos(), Callee: fn})
+		}
+		return
+	}
+
+	switch {
+	case path == "time" && timeFuncs[fn.Name()]:
+		add(call.Pos(), true, false, "call to time.%s", fn.Name())
+	case path == "math/rand" || path == "math/rand/v2":
+		add(call.Pos(), true, false, "call to %s.%s", path, fn.Name())
+	case ioPkgs[path]:
+		add(call.Pos(), true, false, "I/O call to %s.%s", path, fn.Name())
+	case path == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Scan")):
+		add(call.Pos(), true, false, "I/O call to fmt.%s", fn.Name())
+	case e.inModule(path):
+		*calls = append(*calls, Call{Pos: call.Pos(), Callee: fn})
+	}
+}
+
+// inModule reports whether path is a package of this module.
+func (e *Engine) inModule(path string) bool {
+	return path == e.Pass.Module || strings.HasPrefix(path, e.Pass.Module+"/")
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}

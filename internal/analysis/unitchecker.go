@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol (the same JSON
+// "unitchecker" protocol golang.org/x/tools/go/analysis/unitchecker speaks):
+// cmd/go invokes the tool once per package with the path to a vet.cfg file
+// describing the package's sources, its dependencies' export data, and the
+// fact ("vetx") files of previously analyzed packages. The tool must also
+// answer `-V=full` (a build ID for cache keying) and `-flags` (its flag set,
+// as JSON, so go vet can validate pass-through flags).
+
+// Config mirrors cmd/go's vetConfig.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the craftyvet entry point: it dispatches between the protocol
+// endpoints (-V=full, -flags, a *.cfg argument from go vet) and the
+// standalone whole-module mode (package patterns, via `go list`).
+func Main(analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet("craftyvet", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: craftyvet [-json] [-<analyzer>=false] package...\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which craftyvet) package...\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+	disabled := make(map[string]*bool)
+	for _, a := range analyzers {
+		disabled[a.Name] = fs.Bool(a.Name, false, "disable the "+a.Name+" analyzer when set to false")
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return
+	case *flagsFlag:
+		printFlagDefs(fs)
+		return
+	}
+
+	// A -<analyzer>=false flag disables that analyzer; a bare -<analyzer>
+	// (true) restricts the run to the named ones, matching x/tools
+	// multichecker semantics closely enough for CI use.
+	var only []string
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := disabled[f.Name]; !ok {
+			return
+		}
+		if f.Value.String() == "true" {
+			only = append(only, f.Name)
+		}
+	})
+	selected := analyzers[:0:0]
+	for _, a := range analyzers {
+		if f := fs.Lookup(a.Name); f != nil && f.Value.String() == "false" && isSet(fs, a.Name) {
+			continue
+		}
+		if len(only) > 0 {
+			keep := false
+			for _, name := range only {
+				keep = keep || name == a.Name
+			}
+			if !keep {
+				continue
+			}
+		}
+		selected = append(selected, a)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], selected, *jsonFlag)
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	os.Exit(RunStandalone(args, selected, *jsonFlag, os.Stdout, os.Stderr))
+}
+
+func isSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	return set
+}
+
+// printVersion prints the -V=full line cmd/go uses as the tool's build ID:
+// "name version devel ... buildID=<content hash>" (the format cmd/go's
+// toolID parser accepts for non-release tools).
+func printVersion() {
+	hash := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			hash = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("craftyvet version devel comments-go-here buildID=%02x\n", hash)
+}
+
+// printFlagDefs prints the tool's flags as JSON for go vet's flag-discovery
+// handshake.
+func printFlagDefs(fs *flag.FlagSet) {
+	type jsonFlagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlagDef
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		defs = append(defs, jsonFlagDef{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, _ := json.Marshal(defs)
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runUnitchecker analyzes the single package described by the vet.cfg file
+// and exits with the go vet protocol's codes: 0 clean, 1 tool failure, 2
+// diagnostics.
+func runUnitchecker(cfgPath string, analyzers []*Analyzer, asJSON bool) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	RegisterFactTypes(analyzers)
+	facts := NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		// Fact files written by other tools (or older runs) are ignorable.
+		_ = facts.LoadFactFile(path, file)
+	}
+
+	module := cfg.ModulePath
+	if module == "" {
+		module = moduleOf(cfg.ImportPath)
+	}
+	var diags []Diagnostic
+	in := PackageInput{Fset: fset, Files: files, Pkg: pkg, Info: info, Module: module}
+	if err := RunAnalyzers(analyzers, in, facts, func(d Diagnostic) { diags = append(diags, d) }); err != nil {
+		fatalf("%v", err)
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := facts.WriteFactFile(cfg.VetxOutput); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	if asJSON {
+		writeJSONDiagnostics(os.Stdout, fset, cfg.ID, analyzers, diags)
+		os.Exit(0)
+	}
+	for _, d := range sortDiags(fset, diags) {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// JSONDiagnostic is the machine-readable form of one finding, compatible
+// with the x/tools unitchecker's -json output.
+type JSONDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// writeJSONDiagnostics renders {"pkgID": {"analyzer": [diag, ...]}}.
+func writeJSONDiagnostics(w io.Writer, fset *token.FileSet, pkgID string, analyzers []*Analyzer, diags []Diagnostic) {
+	byAnalyzer := make(map[string][]JSONDiagnostic)
+	for _, d := range sortDiags(fset, diags) {
+		byAnalyzer[d.Category] = append(byAnalyzer[d.Category], JSONDiagnostic{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]JSONDiagnostic{pkgID: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(out)
+}
+
+// sortDiags orders diagnostics by position for stable output.
+func sortDiags(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	out := append([]Diagnostic(nil), diags...)
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "craftyvet: "+format+"\n", args...)
+	os.Exit(1)
+}

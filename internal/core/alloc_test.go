@@ -64,6 +64,7 @@ func TestAtomicReadOnlySteadyStateAllocs(t *testing.T) {
 	}
 	var sink uint64
 	body := func(tx ptm.Tx) error {
+		//crafty:txsafe sink only defeats dead-code elimination; its value is never asserted
 		sink += tx.Load(data)
 		return nil
 	}

@@ -26,6 +26,7 @@ func TestAtomicReadSteadyStateAllocs(t *testing.T) {
 	var sink uint64
 	body := func(tx ptm.Tx) error {
 		for w := 0; w < 4; w++ {
+			//crafty:txsafe sink only defeats dead-code elimination; its value is never asserted
 			sink += tx.Load(data + nvm.Addr(w*nvm.WordsPerLine))
 		}
 		return nil
@@ -114,6 +115,7 @@ func TestAtomicReadThreadUnsafeMode(t *testing.T) {
 	if got != 7 {
 		t.Fatalf("read %d, want 7", got)
 	}
+	//crafty:txsafe deliberately provokes the runtime ErrReadOnlyTx this test asserts on
 	if err := th.AtomicRead(func(tx ptm.Tx) error {
 		tx.Store(data, 0)
 		return nil

@@ -297,12 +297,16 @@ func crashConsistencyInvariant(t *testing.T, policy nvm.CrashPolicy, opsPerThrea
 			rng := rand.New(rand.NewSource(int64(g) * 7919))
 			for i := 0; i < opsPerThread; i++ {
 				p := pairAddr(rng.Intn(pairs))
-				_ = th.Atomic(func(tx ptm.Tx) error {
+				err := th.Atomic(func(tx ptm.Tx) error {
 					v := tx.Load(p)
 					tx.Store(p, v+1)
 					tx.Store(p+1, tx.Load(p+1)+1)
 					return nil
 				})
+				if err != nil {
+					t.Errorf("increment %d/%d: %v", g, i, err)
+					return
+				}
 			}
 		}(g)
 	}

@@ -326,6 +326,7 @@ func (a *applyState) commitGroup(th ptm.Thread) {
 	if a.writes {
 		err = th.Atomic(a.groupBody)
 	} else {
+		//crafty:txsafe runGroup's putSlot/deleteSlot branches are unreachable here: this arm runs only when a.writes is false, i.e. every member is an OpGet
 		err = th.AtomicRead(a.groupBody)
 	}
 	if err == nil {

@@ -137,7 +137,9 @@ func testSequentialCounter(t *testing.T, factory Factory) {
 		}
 	}
 	var got uint64
-	th.Atomic(func(tx ptm.Tx) error { got = tx.Load(data); return nil })
+	if err := th.AtomicRead(func(tx ptm.Tx) error { got = tx.Load(data); return nil }); err != nil {
+		t.Fatal(err)
+	}
 	if got != n {
 		t.Fatalf("counter = %d, want %d", got, n)
 	}
@@ -197,12 +199,16 @@ func testBankConservation(t *testing.T, factory Factory) {
 			for i := 0; i < transfers; i++ {
 				from := (g + i) % accounts
 				to := (from + 1 + i%3) % accounts
-				_ = th.Atomic(func(tx ptm.Tx) error {
+				err := th.Atomic(func(tx ptm.Tx) error {
 					amt := uint64(1 + i%4)
 					tx.Store(addrOf(from), tx.Load(addrOf(from))-amt)
 					tx.Store(addrOf(to), tx.Load(addrOf(to))+amt)
 					return nil
 				})
+				if err != nil {
+					t.Errorf("transfer %d/%d: %v", g, i, err)
+					return
+				}
 			}
 		}(g)
 	}
