@@ -1,8 +1,9 @@
 // Command craftykv serves the durable key-value store over TCP: a minimal
-// text protocol (GET/PUT/DEL and their batched forms) over the
-// crash-consistent kv subsystem running on a Crafty engine with persistence
-// tracking enabled, demonstrating the store serving concurrent client
-// connections and surviving a power failure.
+// text protocol (GET/PUT/DEL and their batched forms) and a length-prefixed
+// binary protocol (internal/wire, wire.go) over the crash-consistent kv
+// subsystem running on a Crafty engine with persistence tracking enabled,
+// demonstrating the store serving concurrent client connections and
+// surviving a power failure.
 //
 // Requests flow through a sharded scheduler (scheduler.go): each connection's
 // reader parses commands and routes their operations onto per-worker queues
@@ -70,6 +71,13 @@
 // connections — share group commits; an MPUT's keys may span shards, in
 // which case each shard group commits atomically (the batch as a whole is
 // not one transaction).
+//
+// The same listener also speaks the binary protocol (DESIGN.md §14): a
+// connection opening with the 0xCF 'K' 'V' <version> '\n' handshake is
+// served length-prefixed frames instead of lines — the same command surface,
+// zero-copy decode, and multi-op frames that map 1:1 onto scheduler groups.
+// The first byte picks the mode (0xCF never begins a text command), so the
+// text protocol above remains the drop-in debug interface.
 package main
 
 import (
@@ -84,6 +92,7 @@ import (
 	"time"
 
 	"crafty"
+	"crafty/internal/wire"
 )
 
 func main() {
@@ -555,6 +564,10 @@ func writeLinef(out *bufio.Writer, format string, args ...any) {
 // writer goroutine renders each request's response as it completes — in
 // request order, flushing once no further completed response is pending, so
 // a pipelined burst costs one write syscall for the whole batch.
+//
+// The protocol is auto-detected from the first byte: a binary client leads
+// with the handshake's 0xCF magic (wire.go), which can never begin a text
+// command, so everything else runs the line protocol unchanged.
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
 	defer s.conns.Add(-1)
@@ -564,12 +577,36 @@ func (s *server) handle(conn net.Conn) {
 	s.obs.connsTotal.Inc(stripe)
 	s.obs.conns.Add(1)
 	defer s.obs.conns.Add(-1)
-	// The reader size is also the request-line bound: ReadSlice fails with
+	// The reader size is also the request bound: ReadSlice fails with
 	// ErrBufferFull once a newline-free line exceeds it, so a misbehaving
-	// client cannot grow one line without limit.
-	in := bufio.NewReaderSize(conn, 1<<20)
+	// client cannot grow one line without limit (binary frames are bounded
+	// by the wire reader's limit instead; same maxFrame).
+	in := bufio.NewReaderSize(conn, maxFrame)
 	// The byte counter sits under the bufio.Writer: one add per flush.
 	out := bufio.NewWriter(&countWriter{w: conn, c: s.obs.bytesOut, stripe: stripe})
+
+	if d := s.cfg.ConnTimeout; d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	first, err := in.Peek(1)
+	if err != nil {
+		return
+	}
+	binary := first[0] == wire.Magic0
+	var version byte
+	if binary {
+		version, err = s.readHandshake(in, stripe, conn)
+		if err != nil {
+			return
+		}
+	}
+	// The mode is fixed before the writer goroutine starts (and before any
+	// request can be pushed), so the writer reads it race-free.
+	var enc *wire.Encoder
+	if binary {
+		enc = wire.NewEncoder(out)
+	}
+
 	pending := make(chan *request, 128)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -578,7 +615,11 @@ func (s *server) handle(conn net.Conn) {
 		var burst int64
 		for req := range pending {
 			<-req.done
-			render(out, req)
+			if binary {
+				renderWire(enc, req)
+			} else {
+				render(out, req)
+			}
 			// Enqueue→reply latency for scheduler-routed requests, stamped
 			// strictly outside any transaction (t0 at parse time, here after
 			// the response rendered). Inline replies never hit the scheduler.
@@ -615,6 +656,20 @@ func (s *server) handle(conn net.Conn) {
 	}()
 
 	c := &connReader{srv: s, pending: pending, stripe: stripe}
+	if binary {
+		hello := newRequest(cmdHello)
+		hello.n = uint64(version)
+		c.push(hello)
+		s.serveBinary(conn, in, c)
+	} else {
+		s.serveText(conn, in, c)
+	}
+	close(pending)
+	writerWG.Wait()
+}
+
+// serveText is the line-protocol read loop.
+func (s *server) serveText(conn net.Conn, in *bufio.Reader, c *connReader) {
 	for {
 		// -conn-timeout is an idle/stall bound: a client that sends nothing
 		// for a whole interval is disconnected rather than holding the
@@ -623,24 +678,41 @@ func (s *server) handle(conn net.Conn) {
 			conn.SetReadDeadline(time.Now().Add(d))
 		}
 		raw, err := in.ReadSlice('\n')
-		s.obs.bytesIn.Add(stripe, uint64(len(raw)))
+		s.obs.bytesIn.Add(c.stripe, uint64(len(raw)))
 		if err == bufio.ErrBufferFull {
-			c.push(inlineRequest("ERR request line too long"))
-			break
+			// Oversized request: same typed refusal as an oversized binary
+			// frame. Drain the rest of the line so the stream stays framed
+			// and the connection survives the mistake.
+			c.push(inlineRequest(tooLargeReply))
+			for err == bufio.ErrBufferFull {
+				raw, err = in.ReadSlice('\n')
+				s.obs.bytesIn.Add(c.stripe, uint64(len(raw)))
+			}
+			if err != nil {
+				return
+			}
+			continue
 		}
-		line := strings.TrimRight(string(raw), "\r\n")
-		if line != "" {
-			s.obs.cmds.Inc(stripe)
+		line := trimLine(raw)
+		if len(line) != 0 {
+			s.obs.cmds.Inc(c.stripe)
 			if !c.dispatch(line) {
-				break
+				return
 			}
 		}
 		if err != nil {
-			break
+			return
 		}
 	}
-	close(pending)
-	writerWG.Wait()
+}
+
+// trimLine strips the trailing newline (and any \r) from a raw line; the
+// result aliases the connection read buffer, valid until the next ReadSlice.
+func trimLine(raw []byte) []byte {
+	for len(raw) > 0 && (raw[len(raw)-1] == '\n' || raw[len(raw)-1] == '\r') {
+		raw = raw[:len(raw)-1]
+	}
+	return raw
 }
 
 // connReader is one connection's parse-and-submit state.
@@ -678,86 +750,172 @@ func (c *connReader) waitPrior() {
 	<-notify
 }
 
+// cutSpace splits b at its first space — bytes.Cut without the import churn;
+// found reports whether a space existed (SplitN's "how many parts" signal).
+func cutSpace(b []byte) (before, after []byte, found bool) {
+	for i := 0; i < len(b); i++ {
+		if b[i] == ' ' {
+			return b[:i], b[i+1:], true
+		}
+	}
+	return b, nil, false
+}
+
+// fields iterates whitespace-separated tokens of a line without allocating —
+// the index-based replacement for the strings.Fields re-splits the M* arms
+// used to do per request. Tokens alias the line.
+type fields struct {
+	b []byte
+	i int
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// next returns the next token, or ok=false when the line is exhausted.
+func (f *fields) next() (tok []byte, ok bool) {
+	for f.i < len(f.b) && isSpaceByte(f.b[f.i]) {
+		f.i++
+	}
+	if f.i >= len(f.b) {
+		return nil, false
+	}
+	start := f.i
+	for f.i < len(f.b) && !isSpaceByte(f.b[f.i]) {
+		f.i++
+	}
+	return f.b[start:f.i:f.i], true
+}
+
+// count returns how many tokens remain without consuming them.
+func (f *fields) count() int {
+	save, n := f.i, 0
+	for {
+		if _, ok := f.next(); !ok {
+			break
+		}
+		n++
+	}
+	f.i = save
+	return n
+}
+
+// cmdIs matches tok against an uppercase command name, ASCII
+// case-insensitively, without the ToUpper copy the string path paid.
+func cmdIs(tok []byte, name string) bool {
+	if len(tok) != len(name) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		b := tok[i]
+		if b >= 'a' && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		if b != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // dispatch handles one request line; it returns false when the connection
-// should close.
-func (c *connReader) dispatch(line string) bool {
+// should close. The line aliases the connection read buffer — token bytes
+// are copied into the request at addOpBytes, never retained.
+func (c *connReader) dispatch(line []byte) bool {
 	s := c.srv
-	parts := strings.SplitN(line, " ", 3)
-	cmd := strings.ToUpper(parts[0])
+	cmd, rest, hasArgs := cutSpace(line)
 	// Replica role: client mutations are refused until PROMOTE (the
 	// replication applier submits its work directly, not through here).
-	switch cmd {
-	case "PUT", "DEL", "MPUT", "MDEL":
+	switch {
+	case cmdIs(cmd, "PUT"):
 		if s.writesRefused() {
 			c.push(inlineRequest(replicaRefusal))
 			return true
 		}
-	}
-	switch cmd {
-	case "PUT":
-		if len(parts) != 3 {
+		key, val, ok := cutSpace(rest)
+		if !hasArgs || !ok {
 			c.push(inlineRequest("ERR usage: PUT <key> <value>"))
 			return true
 		}
 		req := newRequest(cmdPut)
-		req.addOp(crafty.KVPut, parts[1], parts[2])
+		req.addOpBytes(crafty.KVPut, key, val)
 		c.push(req)
-	case "GET":
-		if len(parts) != 2 {
+	case cmdIs(cmd, "GET"):
+		key, _, more := cutSpace(rest)
+		if !hasArgs || more {
 			c.push(inlineRequest("ERR usage: GET <key>"))
 			return true
 		}
 		req := newRequest(cmdGet)
-		req.addOp(crafty.KVGet, parts[1], "")
+		req.addOpBytes(crafty.KVGet, key, nil)
 		c.push(req)
-	case "DEL":
-		if len(parts) != 2 {
+	case cmdIs(cmd, "DEL"):
+		if s.writesRefused() {
+			c.push(inlineRequest(replicaRefusal))
+			return true
+		}
+		key, _, more := cutSpace(rest)
+		if !hasArgs || more {
 			c.push(inlineRequest("ERR usage: DEL <key>"))
 			return true
 		}
 		req := newRequest(cmdDel)
-		req.addOp(crafty.KVDelete, parts[1], "")
+		req.addOpBytes(crafty.KVDelete, key, nil)
 		c.push(req)
-	case "MGET":
-		keys := strings.Fields(line)[1:]
+	case cmdIs(cmd, "MGET"):
 		// Validate the parsed key list, not the raw token count: "MGET "
 		// splits into two tokens but carries no keys, and the protocol owes
 		// the client exactly one line per key or an error.
-		if len(keys) == 0 {
+		f := fields{b: rest}
+		if f.count() == 0 {
 			c.push(inlineRequest("ERR usage: MGET <key> [<key> ...]"))
 			return true
 		}
 		req := newRequest(cmdMGet)
-		for _, k := range keys {
-			req.addOp(crafty.KVGet, k, "")
+		for k, ok := f.next(); ok; k, ok = f.next() {
+			req.addOpBytes(crafty.KVGet, k, nil)
 		}
 		c.push(req)
-	case "MPUT":
-		fields := strings.Fields(line)[1:]
-		if len(fields) == 0 || len(fields)%2 != 0 {
+	case cmdIs(cmd, "MPUT"):
+		if s.writesRefused() {
+			c.push(inlineRequest(replicaRefusal))
+			return true
+		}
+		f := fields{b: rest}
+		if n := f.count(); n == 0 || n%2 != 0 {
 			c.push(inlineRequest("ERR usage: MPUT <key> <value> [<key> <value> ...]"))
 			return true
 		}
 		req := newRequest(cmdMPut)
-		for i := 0; i < len(fields); i += 2 {
-			req.addOp(crafty.KVPut, fields[i], fields[i+1])
+		for {
+			k, ok := f.next()
+			if !ok {
+				break
+			}
+			v, _ := f.next() // count is even, so the pair exists
+			req.addOpBytes(crafty.KVPut, k, v)
 		}
 		c.push(req)
-	case "MDEL":
-		keys := strings.Fields(line)[1:]
-		if len(keys) == 0 {
+	case cmdIs(cmd, "MDEL"):
+		if s.writesRefused() {
+			c.push(inlineRequest(replicaRefusal))
+			return true
+		}
+		f := fields{b: rest}
+		if f.count() == 0 {
 			c.push(inlineRequest("ERR usage: MDEL <key> [<key> ...]"))
 			return true
 		}
 		req := newRequest(cmdMDel)
-		for _, k := range keys {
-			req.addOp(crafty.KVDelete, k, "")
+		for k, ok := f.next(); ok; k, ok = f.next() {
+			req.addOpBytes(crafty.KVDelete, k, nil)
 		}
 		c.push(req)
-	case "LEN":
+	case cmdIs(cmd, "LEN"):
 		c.waitPrior()
 		c.push(newRequest(cmdLen))
-	case "STATS":
+	case cmdIs(cmd, "STATS"):
 		c.waitPrior()
 		s.mu.RLock()
 		ast := s.eng.Arena().Stats()
@@ -766,14 +924,14 @@ func (c *connReader) dispatch(line string) bool {
 			"STATS live_blocks=%d live_words=%d free_blocks=%d free_words=%d used_words=%d capacity_words=%d leaked_words=%d",
 			ast.Live, ast.LiveWords, ast.FreeBlocks, ast.FreeWords, ast.UsedWords, ast.DataWords,
 			ast.UsedWords-ast.LiveWords-ast.FreeWords)))
-	case "INFO":
+	case cmdIs(cmd, "INFO"):
 		// The full metrics snapshot, as "name value" lines behind an
 		// "INFO <n>" count header. waitPrior orders it after this
 		// connection's earlier operations, so counters reflect them; STATS
 		// stays as the arena-only legacy view.
 		c.waitPrior()
 		c.push(inlineRequest(s.infoText()))
-	case "SYNC":
+	case cmdIs(cmd, "SYNC"):
 		// The barrier covers everything already queued — including this
 		// connection's earlier operations — so no waitPrior is needed. In
 		// -repl-sync mode the barrier additionally waits for the replica's
@@ -783,7 +941,7 @@ func (c *connReader) dispatch(line string) bool {
 			return true
 		}
 		c.push(inlineRequest("OK"))
-	case "CHECKPOINT":
+	case cmdIs(cmd, "CHECKPOINT"):
 		// Like SYNC, the barrier covers everything already queued.
 		rep, err := s.checkpoint()
 		if err != nil {
@@ -792,7 +950,7 @@ func (c *connReader) dispatch(line string) bool {
 		}
 		c.push(inlineRequest(fmt.Sprintf("OK seq=%d epoch=%d dirty_shards=%d entries=%d coalesced=%d",
 			rep.Seq, rep.Epoch, rep.DirtyShards, rep.Entries, rep.Coalesced)))
-	case "CRASH":
+	case cmdIs(cmd, "CRASH"):
 		c.waitPrior()
 		rolledBack, entries, rep, err := s.crash()
 		if err != nil {
@@ -801,7 +959,7 @@ func (c *connReader) dispatch(line string) bool {
 		}
 		c.push(inlineRequest(fmt.Sprintf("OK rolled_back=%d entries=%d verified_shards=%d shards=%d full_verify=%t",
 			rolledBack, entries, rep.VerifiedShards, rep.Shards, rep.FullVerify)))
-	case "PROMOTE":
+	case cmdIs(cmd, "PROMOTE"):
 		// Failover: stop following the primary, checkpoint at a quiesced
 		// point, start accepting writes under a fresh generation. waitPrior
 		// orders it after this connection's earlier (read) traffic.
@@ -812,15 +970,15 @@ func (c *connReader) dispatch(line string) bool {
 			return true
 		}
 		c.push(inlineRequest(reply))
-	case "REPLINFO":
+	case cmdIs(cmd, "REPLINFO"):
 		c.waitPrior()
 		c.push(inlineRequest(s.replInfo()))
-	case "QUIT":
+	case cmdIs(cmd, "QUIT"):
 		c.waitPrior()
 		c.push(inlineRequest("BYE"))
 		return false
 	default:
-		c.push(inlineRequest(fmt.Sprintf("ERR unknown command %q", parts[0])))
+		c.push(inlineRequest(fmt.Sprintf("ERR unknown command %q", cmd)))
 	}
 	return true
 }

@@ -292,20 +292,20 @@ func TestPipelinedBurst(t *testing.T) {
 }
 
 // TestOverlongLineRejected proves a newline-free stream cannot grow one
-// request line without bound: the server errors out and drops the
-// connection once the line exceeds the reader buffer.
+// request line without bound: the server answers with the typed frame-size
+// refusal, drains the oversized line, and keeps serving the connection.
 func TestOverlongLineRejected(t *testing.T) {
 	addr := startServer(t)
 	c := dial(t, addr)
-	if _, err := c.conn.Write([]byte(strings.Repeat("a", 1<<20+512))); err != nil {
+	if _, err := c.conn.Write([]byte(strings.Repeat("a", 1<<20+512) + "\n")); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.readLine(t); got != "ERR request line too long" {
-		t.Fatalf("got %q, want the too-long error", got)
+	if got := c.readLine(t); got != "ERR frame too large 1048576" {
+		t.Fatalf("got %q, want the frame-too-large error", got)
 	}
-	if _, err := c.r.ReadString('\n'); err == nil {
-		t.Fatal("connection still open after over-long line")
-	}
+	// The connection survives the mistake: the next request works.
+	c.expect(t, "PUT survivor v", "OK")
+	c.expect(t, "GET survivor", "VAL v")
 }
 
 // TestConcurrentClients exercises several connections writing and reading

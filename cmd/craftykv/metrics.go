@@ -47,6 +47,14 @@ type serverMetrics struct {
 	bytesOut   *obs.Counter
 	bursts     *obs.Histogram
 
+	// Binary protocol (wire.go): frames decoded, wire bytes consumed
+	// (handshake and headers included), and framing/decode refusals. The
+	// conn.* counters above cover both protocols; these isolate the binary
+	// path so the two can be compared per protocol.
+	wireFrames *obs.Counter
+	wireBytes  *obs.Counter
+	wireErrs   *obs.Counter
+
 	// Scheduler: per-op enqueue→reply latency (stamped at parse time and at
 	// render time, both outside any transaction), drained batch sizes, SYNC
 	// barriers and their wall time.
@@ -92,6 +100,10 @@ func newServerMetrics(s *server) *serverMetrics {
 	m.bytesIn = reg.Counter("conn.bytes_in")
 	m.bytesOut = reg.Counter("conn.bytes_out")
 	m.bursts = reg.Histogram("conn.burst_responses")
+
+	m.wireFrames = reg.Counter("wire.frames")
+	m.wireBytes = reg.Counter("wire.bytes")
+	m.wireErrs = reg.Counter("wire.protocol_errors")
 
 	m.opLatency = reg.Histogram("sched.op_latency_ns")
 	m.drainBatch = reg.Histogram("sched.drain_batch")

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"crafty/internal/wire"
 )
 
 // startInstrumented is startServerCfg returning the server too, so tests can
@@ -154,8 +156,41 @@ func TestInfoOverTCP(t *testing.T) {
 	}
 }
 
-// TestMetricsHTTP serves the -metrics listener and checks /metrics returns
-// the same snapshot as INFO, as flat JSON.
+// infoBin sends INFO over a binary connection and parses the TText reply —
+// the same "INFO <n>" header plus n "name value" lines the text protocol
+// carries, in one frame.
+func (c *binClient) info(t *testing.T) map[string]int64 {
+	t.Helper()
+	c.enc.Request0(wire.TInfo)
+	typ, payload := c.next(t)
+	if typ != wire.TText {
+		t.Fatalf("INFO reply: got %v, want TText", typ)
+	}
+	lines := strings.Split(string(payload), "\n")
+	n, err := strconv.Atoi(strings.TrimPrefix(lines[0], "INFO "))
+	if err != nil || n != len(lines)-1 {
+		t.Fatalf("INFO header %q over %d lines (%v)", lines[0], len(lines)-1, err)
+	}
+	m := make(map[string]int64, n)
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("metric line %q", line)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("metric line %q: %v", line, err)
+		}
+		m[fields[0]] = v
+	}
+	return m
+}
+
+// TestMetricsHTTP serves the -metrics listener and checks the three
+// observation surfaces agree: /metrics returns the same snapshot as INFO as
+// flat JSON, and INFO over the binary protocol reports exactly the same key
+// set as INFO over text (including the per-protocol wire.* counters, which
+// exist in both and move only under binary traffic).
 func TestMetricsHTTP(t *testing.T) {
 	srv, addr := startInstrumented(t)
 	ml, err := net.Listen("tcp", "127.0.0.1:0")
@@ -168,7 +203,7 @@ func TestMetricsHTTP(t *testing.T) {
 	c := dial(t, addr)
 	c.expect(t, "PUT web-key web-value", "OK")
 	c.expect(t, "GET web-key", "VAL web-value")
-	wire := c.info(t)
+	textInfo := c.info(t)
 
 	resp, err := http.Get("http://" + ml.Addr().String() + "/metrics")
 	if err != nil {
@@ -182,14 +217,14 @@ func TestMetricsHTTP(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatalf("decoding /metrics: %v", err)
 	}
-	// Same key set as the wire snapshot; values may differ (time passed
+	// Same key set as the INFO snapshot; values may differ (time passed
 	// between the two snapshots) but plain monotonic counters can only grow
 	// (gauges and histogram quantiles may move either way).
 	monotonic := map[string]bool{
 		"conn.total": true, "conn.commands": true, "conn.bytes_in": true,
 		"conn.bytes_out": true, "core.txns": true, "htm.commits": true,
 	}
-	for name, v := range wire {
+	for name, v := range textInfo {
 		got, ok := snap[name]
 		if !ok {
 			t.Errorf("/metrics is missing %q (present in INFO)", name)
@@ -199,10 +234,43 @@ func TestMetricsHTTP(t *testing.T) {
 			t.Errorf("%s shrank from %d (INFO) to %d (/metrics)", name, v, got)
 		}
 	}
-	if len(snap) < len(wire) {
-		t.Errorf("/metrics has %d samples, INFO had %d", len(snap), len(wire))
+	if len(snap) < len(textInfo) {
+		t.Errorf("/metrics has %d samples, INFO had %d", len(snap), len(textInfo))
 	}
 	if snap["core.txns"] <= 0 {
 		t.Errorf("core.txns = %d over HTTP, want > 0", snap["core.txns"])
+	}
+
+	// The text snapshot carries the binary path's counters (registered
+	// unconditionally), idle so far.
+	for _, name := range []string{"wire.frames", "wire.bytes", "wire.protocol_errors"} {
+		if _, ok := textInfo[name]; !ok {
+			t.Errorf("INFO over text is missing %q", name)
+		}
+	}
+
+	// INFO over the binary protocol: drive some frames first so the wire.*
+	// counters move, then compare key sets both ways.
+	bc := dialBin(t, addr, wire.Version)
+	bc.enc.Put([]byte("bin-key"), []byte("bin-value"))
+	bc.expect(t, wire.TOK, "")
+	bc.enc.Get([]byte("bin-key"))
+	bc.expect(t, wire.TVal, "bin-value")
+	binInfo := bc.info(t)
+	for name := range textInfo {
+		if _, ok := binInfo[name]; !ok {
+			t.Errorf("INFO over binary is missing %q (present over text)", name)
+		}
+	}
+	for name := range binInfo {
+		if _, ok := textInfo[name]; !ok {
+			t.Errorf("INFO over text is missing %q (present over binary)", name)
+		}
+	}
+	if binInfo["wire.frames"] <= 0 {
+		t.Errorf("wire.frames = %d after binary traffic, want > 0", binInfo["wire.frames"])
+	}
+	if binInfo["wire.bytes"] <= 0 {
+		t.Errorf("wire.bytes = %d after binary traffic, want > 0", binInfo["wire.bytes"])
 	}
 }

@@ -33,6 +33,7 @@ const (
 	cmdMPut                  // OK <n> | ERR (first failure)
 	cmdMDel                  // one OK/NIL line per key
 	cmdLen                   // LEN <n> | ERR
+	cmdHello                 // binary handshake ack (wire.go); n is the version
 )
 
 // opResult is one operation's outcome, copied out of the worker's reused
@@ -108,15 +109,39 @@ func (r *request) copyBytes(s string) []byte {
 	return r.buf[off : off+len(s) : off+len(s)]
 }
 
+// copyBuf is copyBytes over a byte token — the text tokenizer's and the
+// binary frame decoder's entry point; both hand in slices aliasing a
+// connection read buffer that is reused after dispatch, so this copy is the
+// aliasing boundary.
+func (r *request) copyBuf(b []byte) []byte {
+	off := len(r.buf)
+	r.buf = append(r.buf, b...)
+	return r.buf[off : off+len(b) : off+len(b)]
+}
+
 // addOp appends one operation, copying key and value; an empty value means
-// none (wire tokens are never empty). The result slot is recycled in place
-// when the pooled slice has capacity, so its value buffer's backing array
-// survives across requests.
+// none (wire tokens are never empty).
 func (r *request) addOp(kind crafty.KVOpKind, key, value string) {
 	op := crafty.KVOp{Kind: kind, Key: r.copyBytes(key)}
 	if value != "" {
 		op.Value = r.copyBytes(value)
 	}
+	r.pushOp(op)
+}
+
+// addOpBytes is addOp over byte tokens.
+func (r *request) addOpBytes(kind crafty.KVOpKind, key, value []byte) {
+	op := crafty.KVOp{Kind: kind, Key: r.copyBuf(key)}
+	if len(value) > 0 {
+		op.Value = r.copyBuf(value)
+	}
+	r.pushOp(op)
+}
+
+// pushOp appends op and its result slot. The slot is recycled in place when
+// the pooled slice has capacity, so its value buffer's backing array survives
+// across requests.
+func (r *request) pushOp(op crafty.KVOp) {
 	r.ops = append(r.ops, op)
 	if n := len(r.res); n < cap(r.res) {
 		r.res = r.res[:n+1]

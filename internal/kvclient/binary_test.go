@@ -1,0 +1,211 @@
+package kvclient
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"crafty/internal/kv"
+	"crafty/internal/wire"
+)
+
+// fakeBinServer answers the binary protocol from an in-memory map,
+// optionally refusing its first n connections with the text recovering line
+// (sent before reading any byte, exactly like the real server's accept-loop
+// refusal).
+type fakeBinServer struct {
+	l      net.Listener
+	refuse atomic.Int32
+}
+
+func startFakeBin(t *testing.T) *fakeBinServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s := &fakeBinServer{l: l}
+	data := map[string]string{}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			if s.refuse.Load() > 0 {
+				s.refuse.Add(-1)
+				fmt.Fprintf(conn, "ERR recovering, retry shortly\n")
+				conn.Close()
+				continue
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				var hs [wire.HandshakeLen]byte
+				if _, err := io.ReadFull(br, hs[:]); err != nil {
+					return
+				}
+				if _, err := wire.ParseHandshake(hs[:]); err != nil {
+					fmt.Fprintf(conn, "ERR bad handshake\n")
+					return
+				}
+				w := bufio.NewWriter(conn)
+				enc := wire.NewEncoder(w)
+				enc.Handshake(wire.Version)
+				rd := wire.NewReader(br, 0)
+				var ops []kv.Op
+				for {
+					if err := w.Flush(); err != nil {
+						return
+					}
+					typ, payload, err := rd.Next()
+					if err != nil {
+						return
+					}
+					ops, err = wire.DecodeRequest(typ, payload, ops[:0])
+					if err != nil {
+						enc.Err(err.Error())
+						continue
+					}
+					switch typ {
+					case wire.TPut:
+						data[string(ops[0].Key)] = string(ops[0].Value)
+						enc.OK()
+					case wire.TGet:
+						if v, ok := data[string(ops[0].Key)]; ok {
+							enc.Val([]byte(v))
+						} else {
+							enc.Nil()
+						}
+					case wire.TDel:
+						if _, ok := data[string(ops[0].Key)]; ok {
+							delete(data, string(ops[0].Key))
+							enc.OK()
+						} else {
+							enc.Nil()
+						}
+					case wire.TMGet:
+						for i := range ops {
+							if v, ok := data[string(ops[i].Key)]; ok {
+								enc.Val([]byte(v))
+							} else {
+								enc.Nil()
+							}
+						}
+					case wire.TLen:
+						enc.Uint(uint64(len(data)))
+					case wire.TSync:
+						enc.OK()
+					default:
+						enc.Err(fmt.Sprintf("unsupported frame %v", typ))
+					}
+				}
+			}(conn)
+		}
+	}()
+	return s
+}
+
+func binCfg() Config {
+	cfg := testCfg()
+	cfg.Binary = true
+	return cfg
+}
+
+// TestBinaryMode: a binary-capable server negotiates the handshake and the
+// protocol-blind helpers behave exactly as in text mode.
+func TestBinaryMode(t *testing.T) {
+	s := startFakeBin(t)
+	c, err := Dial(s.l.Addr().String(), binCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Binary() {
+		t.Fatal("client did not negotiate the binary protocol")
+	}
+	if err := c.Put("alpha", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get("alpha"); err != nil || !ok || v != "one" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Fatalf("Get missing = %v %v", ok, err)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d %v", n, err)
+	}
+	if lines, err := c.DoLines("MGET alpha missing", 2); err != nil ||
+		len(lines) != 2 || lines[0] != "VAL one" || lines[1] != "NIL" {
+		t.Fatalf("MGET = %q %v", lines, err)
+	}
+	if ok, err := c.Del("alpha"); err != nil || !ok {
+		t.Fatalf("Del = %v %v", ok, err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("STATS"); err == nil {
+		t.Fatal("STATS accepted over the binary protocol")
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("clean run performed %d retries", c.Retries())
+	}
+}
+
+// TestBinaryFallbackToText: against a text-only server the handshake is
+// answered with one ERR line; the client downgrades to text on the same
+// connection, permanently, and everything works.
+func TestBinaryFallbackToText(t *testing.T) {
+	s := startFake(t)
+	c, err := Dial(s.l.Addr().String(), binCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Binary() {
+		t.Fatal("client claims binary against a text-only server")
+	}
+	if err := c.Put("alpha", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get("alpha"); err != nil || !ok || v != "one" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	// The downgrade is sticky across reconnects: force a redial and check
+	// the client does not retry the handshake against the text server.
+	c.dropConn()
+	if err := c.Put("beta", "two"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Binary() {
+		t.Fatal("downgrade did not stick across a reconnect")
+	}
+}
+
+// TestBinaryRetriesRecovering: the recovering refusal arrives as a text line
+// even on a binary-capable server (it is sent before the handshake is read);
+// it must be retried, not treated as a text downgrade.
+func TestBinaryRetriesRecovering(t *testing.T) {
+	s := startFakeBin(t)
+	s.refuse.Store(3)
+	c, err := Dial(s.l.Addr().String(), binCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Binary() {
+		t.Fatal("recovering refusal downgraded the client to text")
+	}
+	if err := c.Put("alpha", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Retries() == 0 {
+		t.Fatal("no retries recorded despite refused connections")
+	}
+}

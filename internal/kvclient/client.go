@@ -1,4 +1,7 @@
-// Package kvclient is a minimal client for the craftykv text protocol with
+// Package kvclient is a minimal client for the craftykv protocols — the
+// text protocol, and with Config.Binary the length-prefixed binary protocol
+// (internal/wire), negotiated per connection with a sticky per-client
+// fallback to text when the server predates the handshake — with
 // the retry discipline a server that injects crashes demands: dial failures,
 // dropped connections, and the server's explicit "ERR recovering" reply (a
 // connection arriving while a CRASH recovery holds the store) are retried on
@@ -15,10 +18,13 @@ package kvclient
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
 	"time"
+
+	"crafty/internal/wire"
 )
 
 // Config tunes a client. The zero value gets sensible test-scale defaults.
@@ -38,6 +44,16 @@ type Config struct {
 	// Seed makes the jitter deterministic in tests; 0 seeds from the
 	// address so distinct clients still diverge.
 	Seed int64
+	// Binary opts into the binary wire protocol (internal/wire): each new
+	// connection opens with the versioned handshake, requests become frames,
+	// and replies are translated back to the text protocol's line shapes so
+	// Do/DoLines and the typed helpers behave identically. A peer that
+	// answers the handshake with a text error (a text-only server parsing it
+	// as one garbage line) downgrades the client to text permanently; the
+	// "ERR recovering" and connection-limit refusals are retried instead,
+	// since a binary-capable server sends those in text before the handshake
+	// is read.
+	Binary bool
 }
 
 func (c Config) withDefaults(addr string) Config {
@@ -104,10 +120,22 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 
+	// Binary-mode state: the frame codec over the current connection, and
+	// whether this connection negotiated binary. textOnly is the sticky
+	// downgrade after a text-only server refused the handshake.
+	w        *bufio.Writer
+	enc      *wire.Encoder
+	frames   *wire.Reader
+	bin      bool
+	textOnly bool
+
 	// retries counts transparently retried round trips, for tests asserting
 	// the retry path actually ran.
 	retries int
 }
+
+// Binary reports whether the current connection speaks the binary protocol.
+func (c *Client) Binary() bool { return c.conn != nil && c.bin }
 
 // Dial creates a client and establishes its first connection, retrying dial
 // failures within the budget.
@@ -163,6 +191,59 @@ func (c *Client) ensureConn() error {
 	}
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
+	c.bin = false
+	if c.cfg.Binary && !c.textOnly {
+		return c.handshake()
+	}
+	return nil
+}
+
+// handshake negotiates the binary protocol on a fresh connection. The server
+// answers the 5-byte handshake in kind; a text ERR line instead means either
+// a transient refusal (recovering, connection limit — sent before the server
+// reads the first byte; retry) or a text-only peer that parsed the handshake
+// as one garbage line (downgrade to text permanently and keep using this
+// connection — the garbage line has been consumed and answered, so the
+// stream is clean).
+func (c *Client) handshake() error {
+	c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	hs := wire.AppendHandshake(nil, wire.Version)
+	if _, err := c.conn.Write(hs); err != nil {
+		c.dropConn()
+		return retryableError{err}
+	}
+	first, err := c.r.Peek(1)
+	if err != nil {
+		c.dropConn()
+		return retryableError{err}
+	}
+	if first[0] == wire.Magic0 {
+		var ack [wire.HandshakeLen]byte
+		if _, err := io.ReadFull(c.r, ack[:]); err != nil {
+			c.dropConn()
+			return retryableError{err}
+		}
+		if _, err := wire.ParseHandshake(ack[:]); err != nil {
+			c.dropConn()
+			return retryableError{err}
+		}
+		c.w = bufio.NewWriter(c.conn)
+		c.enc = wire.NewEncoder(c.w)
+		c.frames = wire.NewReader(c.r, 0)
+		c.bin = true
+		return nil
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.dropConn()
+		return retryableError{err}
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if errRecovering(line) || strings.HasPrefix(line, "ERR too many connections") {
+		c.dropConn()
+		return retryableError{fmt.Errorf("server refused connection: %s", line)}
+	}
+	c.textOnly = true
 	return nil
 }
 
@@ -203,6 +284,9 @@ func (c *Client) roundTrip(req string, n int, lines []string) ([]string, error) 
 		return nil, err
 	}
 	c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	if c.bin {
+		return c.roundTripBin(req, n, lines)
+	}
 	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
 		c.dropConn()
 		return nil, retryableError{err}
@@ -222,6 +306,120 @@ func (c *Client) roundTrip(req string, n int, lines []string) ([]string, error) 
 			return nil, retryableError{fmt.Errorf("server recovering: %s", line)}
 		}
 		lines = append(lines, line)
+	}
+	return lines, nil
+}
+
+// roundTripBin is roundTrip over the binary protocol: the request line is
+// parsed once here, encoded as frames, and the reply frames are rendered
+// back into the text protocol's line shapes, so every caller above this
+// point is protocol-blind. MGET/MDEL read n frames (one per key); every
+// other command reads one.
+func (c *Client) roundTripBin(req string, n int, lines []string) ([]string, error) {
+	f := strings.Fields(req)
+	if len(f) == 0 {
+		return nil, fmt.Errorf("kvclient: empty request")
+	}
+	cmd, args := strings.ToUpper(f[0]), f[1:]
+	toBytes := func(ss []string) [][]byte {
+		bs := make([][]byte, len(ss))
+		for i, s := range ss {
+			bs[i] = []byte(s)
+		}
+		return bs
+	}
+	// uintVerb renders a TUint reply in the command's text shape.
+	uintVerb, frames := "OK", 1
+	switch cmd {
+	case "GET":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("kvclient: usage: GET <key>")
+		}
+		c.enc.Get([]byte(args[0]))
+	case "PUT":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("kvclient: usage: PUT <key> <value>")
+		}
+		c.enc.Put([]byte(args[0]), []byte(args[1]))
+	case "DEL":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("kvclient: usage: DEL <key>")
+		}
+		c.enc.Del([]byte(args[0]))
+	case "MGET":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("kvclient: usage: MGET <key> ...")
+		}
+		c.enc.MGet(toBytes(args))
+		frames = len(args)
+	case "MDEL":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("kvclient: usage: MDEL <key> ...")
+		}
+		c.enc.MDel(toBytes(args))
+		frames = len(args)
+	case "MPUT":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("kvclient: usage: MPUT <key> <value> ...")
+		}
+		c.enc.MPut(toBytes(args))
+	case "LEN":
+		c.enc.Request0(wire.TLen)
+		uintVerb = "LEN"
+	case "SYNC":
+		c.enc.Request0(wire.TSync)
+	case "INFO":
+		c.enc.Request0(wire.TInfo)
+	case "CHECKPOINT":
+		c.enc.Request0(wire.TCheckpoint)
+	case "CRASH":
+		c.enc.Request0(wire.TCrash)
+	default:
+		// STATS/PROMOTE/REPLINFO/QUIT have no frames; they are text-protocol
+		// debug commands. Not retryable: the request can never succeed here.
+		return nil, fmt.Errorf("kvclient: %s is not supported over the binary protocol", cmd)
+	}
+	if frames < n {
+		frames = n
+	}
+	if err := c.enc.Flush(); err != nil {
+		c.dropConn()
+		return nil, retryableError{err}
+	}
+	lines = lines[:0]
+	for i := 0; i < frames; i++ {
+		typ, payload, err := c.frames.Next()
+		if err != nil {
+			c.dropConn()
+			return nil, retryableError{err}
+		}
+		switch typ {
+		case wire.TOK:
+			lines = append(lines, "OK")
+		case wire.TNil:
+			lines = append(lines, "NIL")
+		case wire.TVal:
+			lines = append(lines, "VAL "+string(payload))
+		case wire.TUint:
+			v, err := wire.DecodeUintPayload(payload)
+			if err != nil {
+				c.dropConn()
+				return nil, retryableError{err}
+			}
+			lines = append(lines, fmt.Sprintf("%s %d", uintVerb, v))
+		case wire.TErr:
+			line := "ERR " + string(payload)
+			if errRecovering(line) {
+				c.dropConn()
+				return nil, retryableError{fmt.Errorf("server recovering: %s", line)}
+			}
+			lines = append(lines, line)
+		case wire.TText:
+			lines = append(lines, strings.Split(string(payload), "\n")...)
+		default:
+			c.dropConn()
+			return nil, retryableError{fmt.Errorf("kvclient: unexpected response frame %v", typ)}
+		}
 	}
 	return lines, nil
 }
